@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure bench regenerates its figure's series (fast sweep by
+default; set ``REPRO_FULL=1`` for paper-parity parameters), asserts the
+DESIGN.md shape criteria, prints the table, and archives it under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table(capsys):
+    """Print a Table and archive its rendering to results/<name>.txt."""
+
+    def _save(name: str, table, precision: int = 2) -> None:
+        text = table.render(precision)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _save
+
+
+def paper_parity() -> bool:
+    """True when REPRO_FULL requests the paper's full parameters."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0", "false", "no")

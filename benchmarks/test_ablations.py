@@ -1,0 +1,93 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: they isolate the contribution of
+individual design decisions (port model, weighted_sort, message size
+regime, resolution order).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_experiment
+
+from .conftest import paper_parity
+
+
+def test_ablation_port_model(benchmark, save_table):
+    """All-port <= 2-port <= one-port for the same W-sort trees."""
+    table = benchmark.pedantic(
+        run_experiment, args=("ablation-ports",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("ablation_ports", table, precision=0)
+    for one, two, allp in zip(
+        table.column("one-port"), table.column("2-port"), table.column("all-port")
+    ):
+        assert allp <= two + 1e-6 <= one + 1e-6
+
+
+def test_ablation_wsort(benchmark, save_table):
+    """weighted_sort never hurts Maxport's step count and helps in the
+    mid-range."""
+    table = benchmark.pedantic(
+        run_experiment, args=("ablation-wsort",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("ablation_wsort", table)
+    gains = [
+        m - w for m, w in zip(table.column("maxport"), table.column("wsort"))
+    ]
+    assert all(g >= -1e-9 for g in gains)
+    assert max(gains) > 0
+
+
+def test_ablation_message_size(benchmark, save_table):
+    """Startup-dominated vs bandwidth-dominated: all algorithms converge
+    for tiny messages (startup dominates equally) and diverge as the
+    per-byte term grows."""
+    table = benchmark.pedantic(
+        run_experiment, args=("ablation-msgsize",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("ablation_msgsize", table, precision=0)
+    xs = table.x_values
+    # relative spread between best and worst algorithm per size
+    def spread(i: int) -> float:
+        vals = [table.column(name)[i] for name in table.columns]
+        return (max(vals) - min(vals)) / min(vals)
+
+    assert spread(xs.index(16384)) > 0.0
+    # delays increase with size for every algorithm
+    for name in table.columns:
+        col = table.column(name)
+        assert all(b >= a for a, b in zip(col, col[1:]))
+
+
+def test_ablation_timing_sensitivity(benchmark, save_table):
+    """The W-sort-over-U-cube improvement survives scaling the timing
+    constants by 16x in either direction -- the quantitative backing for
+    substituting the nCUBE-2 constants (DESIGN.md S4)."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("ablation-sensitivity",),
+        kwargs={"fast": not paper_parity()},
+        rounds=1,
+    )
+    save_table("ablation_sensitivity", table, precision=1)
+    for name in table.columns:
+        assert all(v > 0 for v in table.column(name)), "improvement must persist"
+    # improvement shrinks as software overhead dominates (the advantage
+    # is in channel usage, not in the number of sends)
+    slowest = table.column("tbyte_x0.25")
+    assert slowest[0] > slowest[-1]
+
+
+def test_ablation_resolution_order(benchmark, save_table):
+    """Aggregate step counts are insensitive to the E-cube resolution
+    order (the paper's claim that the nCUBE-2's opposite order does not
+    affect the results)."""
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("ablation-resolution",),
+        kwargs={"fast": not paper_parity()},
+        rounds=1,
+    )
+    save_table("ablation_resolution", table)
+    for d, a in zip(table.column("desc"), table.column("asc")):
+        assert abs(d - a) <= 0.5

@@ -1,0 +1,30 @@
+"""Bench: interference between concurrent multicasts (beyond the paper).
+
+Collective *data distribution* rarely happens one operation at a time;
+this bench measures how each algorithm's advantage holds up when k
+multicasts share the network.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_experiment
+
+from .conftest import paper_parity
+
+
+def test_concurrent_multicasts(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_experiment,
+        args=("ablation-concurrent",),
+        kwargs={"fast": not paper_parity()},
+        rounds=1,
+    )
+    save_table("ablation_concurrent", table, precision=0)
+
+    # delays never shrink as k grows
+    for name in table.columns:
+        col = table.column(name)
+        assert all(b >= a * 0.98 for a, b in zip(col, col[1:]))
+    # the contention-aware algorithms keep their lead at every k
+    for i in range(len(table.x_values)):
+        assert table.column("wsort")[i] < table.column("ucube")[i]

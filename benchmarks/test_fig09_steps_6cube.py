@@ -1,0 +1,25 @@
+"""Figure 9: stepwise comparisons on a 6-cube.
+
+Regenerates the average-of-max-steps curves for U-cube, Maxport,
+Combine, and W-sort over random destination sets, and asserts the
+paper's qualitative claims: the U-cube staircase, Combine/W-sort at or
+below it (Maxport may exceed it slightly, Section 4.1), and the
+smoothing effect.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_experiment
+from repro.analysis.shapes import check_figure
+
+from .conftest import paper_parity
+
+
+def test_fig09_steps_6cube(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig9",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("fig09", table)
+
+    for c in check_figure("fig9", table):
+        assert c.passed, f"{c.claim}: {c.detail}"

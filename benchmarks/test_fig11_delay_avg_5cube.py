@@ -1,0 +1,25 @@
+"""Figure 11: average delay on the (simulated) 5-cube nCUBE-2.
+
+4096-byte messages, 20 random destination sets per point.  Asserts the
+paper's observations: every multiport algorithm beats U-cube between
+unicast and broadcast, and the anomaly that U-cube's average
+*multicast* delay can exceed its *broadcast* delay (because U-cube
+forces multiple messages out the same channel).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_experiment
+from repro.analysis.shapes import check_figure
+
+from .conftest import paper_parity
+
+
+def test_fig11_delay_avg_5cube(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig11",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("fig11", table, precision=0)
+
+    for c in check_figure("fig11", table):
+        assert c.passed, f"{c.claim}: {c.detail}"

@@ -1,0 +1,37 @@
+"""Figure 12: maximum delay on the (simulated) 5-cube nCUBE-2.
+
+The maximum-delay metric exposes U-cube's staircase directly (max delay
+tracks the number of steps); the multiport algorithms smooth it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import run_experiment
+from repro.analysis.shapes import check_figure
+
+from .conftest import paper_parity
+
+
+def test_fig12_delay_max_5cube(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig12",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("fig12", table, precision=0)
+
+    for c in check_figure("fig12", table):
+        assert c.passed, f"{c.claim}: {c.detail}"
+
+    # staircase: U-cube max delay levels increase with ceil(log2(m+1))
+    per_step: dict[int, list[float]] = {}
+    for m, v in zip(table.x_values, table.column("ucube")):
+        per_step.setdefault(math.ceil(math.log2(m + 1)), []).append(v)
+    levels = sorted(per_step)
+    means = [sum(per_step[s]) / len(per_step[s]) for s in levels]
+    assert all(b > a for a, b in zip(means, means[1:])), "staircase levels not increasing"
+
+    # W-sort strictly improves on U-cube mid-range
+    mid = [i for i, m in enumerate(table.x_values) if 8 <= m <= 24]
+    ucube, wsort = table.column("ucube"), table.column("wsort")
+    assert sum(ucube[i] - wsort[i] for i in mid) / len(mid) > 0

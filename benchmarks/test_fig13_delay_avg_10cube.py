@@ -1,0 +1,34 @@
+"""Figure 13: average delay on a simulated 10-cube.
+
+For the larger system the paper reports that the advantage of W-sort
+over the other multiport algorithms becomes visible in the average
+delay; the shared shape criteria assert that ordering over the
+mid-range of the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_experiment
+from repro.analysis.shapes import check_figure
+
+from .conftest import paper_parity
+
+
+def test_fig13_delay_avg_10cube(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig13",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("fig13", table, precision=0)
+
+    for c in check_figure("fig13", table):
+        assert c.passed, f"{c.claim}: {c.detail}"
+
+    # W-sort's margin over the best other multiport algorithm is positive
+    xs = table.x_values
+    mid = [i for i, m in enumerate(xs) if 50 <= m <= 800]
+    margin = sum(
+        min(table.column("maxport")[i], table.column("combine")[i])
+        - table.column("wsort")[i]
+        for i in mid
+    ) / max(1, len(mid))
+    assert margin > 0, "W-sort advantage not visible at scale"

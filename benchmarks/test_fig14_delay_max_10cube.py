@@ -1,0 +1,22 @@
+"""Figure 14: maximum delay on a simulated 10-cube."""
+
+from __future__ import annotations
+
+from repro.analysis import run_experiment
+from repro.analysis.shapes import check_figure
+
+from .conftest import paper_parity
+
+
+def test_fig14_delay_max_10cube(benchmark, save_table):
+    table = benchmark.pedantic(
+        run_experiment, args=("fig14",), kwargs={"fast": not paper_parity()}, rounds=1
+    )
+    save_table("fig14", table, precision=0)
+
+    for c in check_figure("fig14", table):
+        assert c.passed, f"{c.claim}: {c.detail}"
+
+    # delays grow with m up to the broadcast point
+    ucube = table.column("ucube")
+    assert ucube[-1] > ucube[0]

@@ -1,0 +1,53 @@
+"""Bench: U-mesh on a 2D mesh (extension; the [9] substrate's mesh half).
+
+Regenerates a Figures-9-style stepwise table for an 8x8 mesh and checks
+the U-mesh guarantees: the one-port staircase and contention-freedom.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import mean
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.mesh import Mesh2D, UMesh
+from repro.multicast.ports import ONE_PORT
+
+from .conftest import paper_parity
+
+
+def run_mesh_stepwise(sets_per_point: int) -> Table:
+    mesh = Mesh2D(8, 8)
+    alg = UMesh()
+    m_values = [1, 2, 4, 8, 16, 24, 32, 48, 63]
+    steps_col: list[float] = []
+    optimal_col: list[float] = []
+    for i, m in enumerate(m_values):
+        rng = np.random.default_rng(8800 + i)
+        vals = []
+        for _ in range(sets_per_point):
+            source = int(rng.integers(0, 64))
+            cand = np.array([u for u in range(64) if u != source])
+            dests = sorted(int(x) for x in rng.choice(cand, m, replace=False))
+            tree = alg.build_tree(mesh, source, dests)
+            sched = tree.schedule(ONE_PORT)
+            assert sched.check_contention().ok
+            vals.append(sched.max_step)
+        steps_col.append(mean(vals))
+        optimal_col.append(math.ceil(math.log2(m + 1)))
+    return Table(
+        title=f"U-mesh stepwise, 8x8 mesh, one-port ({sets_per_point} sets/point)",
+        x_label="m",
+        x_values=m_values,
+        columns={"umesh": steps_col, "optimal": optimal_col},
+    )
+
+
+def test_mesh_umesh_stepwise(benchmark, save_table):
+    sets = 50 if paper_parity() else 15
+    table = benchmark.pedantic(run_mesh_stepwise, args=(sets,), rounds=1)
+    save_table("mesh_umesh", table)
+    for measured, opt in zip(table.column("umesh"), table.column("optimal")):
+        assert measured == opt, "U-mesh off the one-port staircase"

@@ -1,0 +1,68 @@
+"""Microbenchmarks: raw throughput of the building blocks.
+
+These time the hot paths -- tree construction, weighted_sort, the step
+scheduler, and the event simulator -- and are where pytest-benchmark's
+statistics are most meaningful (the figure benches run once by design).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.workloads import random_destination_sets
+from repro.core.chains import relative_chain
+from repro.multicast import ALL_PORT
+from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.multicast.wsort import weighted_sort, weighted_sort_fast
+from repro.simulator import NCUBE2, simulate_multicast
+
+
+@pytest.fixture(scope="module")
+def workload_10cube():
+    return random_destination_sets(10, 512, 1, seed=5)[0]
+
+
+@pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+def test_build_tree_10cube_512dests(benchmark, name, workload_10cube):
+    alg = get_algorithm(name)
+    tree = benchmark(alg.build_tree, 10, 0, workload_10cube)
+    assert len(tree.sends) == 512
+
+
+@pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+def test_schedule_10cube_512dests(benchmark, name, workload_10cube):
+    alg = get_algorithm(name)
+    tree = alg.build_tree(10, 0, workload_10cube)
+    sched = benchmark(tree.schedule, ALL_PORT)
+    assert sched.max_step >= 1
+
+
+def test_weighted_sort_literal(benchmark, workload_10cube):
+    chain = relative_chain(0, workload_10cube)
+    out = benchmark(weighted_sort, chain, 10)
+    assert len(out) == len(chain)
+
+
+def test_weighted_sort_fast(benchmark, workload_10cube):
+    chain = relative_chain(0, workload_10cube)
+    out = benchmark(weighted_sort_fast, chain, 10)
+    assert out == weighted_sort(chain, 10)
+
+
+def test_simulator_events_per_second(benchmark, workload_10cube):
+    tree = get_algorithm("wsort").build_tree(10, 0, workload_10cube)
+
+    def run():
+        return simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+
+    res = benchmark(run)
+    assert res.events > 1000
+
+
+def test_contention_verifier_fig3(benchmark):
+    tree = get_algorithm("ucube").build_tree(
+        4, 0, [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+    )
+    sched = tree.schedule(ALL_PORT)
+    report = benchmark(sched.check_contention)
+    assert report.ok

@@ -1,0 +1,53 @@
+"""Scaling study: multicast delay as the machine grows.
+
+The paper's motivation is data redistribution on scalable parallel
+computers: an operation that is cheap on 32 nodes must stay cheap on
+1024.  This example sweeps cube dimensions 4..10, multicasting a 4 KB
+message to a random half of the machine with each algorithm, and prints
+how the average delay grows -- logarithmically for the contention-aware
+algorithms, with U-cube paying an extra step-count and blocking penalty
+throughout.
+
+Run:  python examples/broadcast_scaling.py
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.analysis.workloads import random_destination_sets
+from repro.multicast import ALL_PORT
+from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.simulator import NCUBE2, simulate_multicast
+
+SETS_PER_POINT = 10
+MESSAGE_BYTES = 4096
+
+
+def main() -> None:
+    algs = {name: get_algorithm(name) for name in PAPER_ALGORITHMS}
+    header = "  n  nodes" + "".join(f"{name:>10}" for name in algs)
+    print(f"average delay (us), 4 KB multicast to a random half of the machine")
+    print(header)
+    print("-" * len(header))
+    for n in range(4, 11):
+        m = (1 << n) // 2
+        sets = random_destination_sets(n, m, SETS_PER_POINT, seed=100 + n)
+        row = f"{n:>3}  {1 << n:>5}"
+        for name, alg in algs.items():
+            delays = [
+                simulate_multicast(
+                    alg.build_tree(n, 0, dests), MESSAGE_BYTES, NCUBE2, ALL_PORT
+                ).avg_delay
+                for dests in sets
+            ]
+            row += f"{mean(delays):>10.0f}"
+        print(row)
+    print()
+    print("Wormhole routing keeps per-unicast latency distance-insensitive, so")
+    print("delay growth is driven by the multicast *step* structure; the")
+    print("contention-aware algorithms grow a full step more slowly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Survey: every collective operation, timed across machine sizes.
+
+One table, MPI-style: rows are cube dimensions (16 to 256 nodes),
+columns are collectives, cells are simulated completion times on
+nCUBE-2-like hardware.  Shows at a glance how each operation's
+structure scales -- logarithmic rounds (broadcast, reduce, barrier),
+bandwidth-bound halving/doubling (scatter, gather, allgather), and the
+quadratic traffic of the complete exchange.
+
+Run:  python examples/collective_survey.py
+"""
+
+from __future__ import annotations
+
+from repro.collectives import HypercubeCollectives
+
+BLOCK = 1024  # bytes per node for personalized operations
+VECTOR = 4096  # bytes for broadcast/reduce
+
+
+def main() -> None:
+    ops = [
+        ("broadcast", lambda c: c.broadcast(0, VECTOR).completion_time),
+        ("scatter", lambda c: c.scatter(0, BLOCK).completion_time),
+        ("gather", lambda c: c.gather(0, BLOCK).completion_time),
+        ("allgather", lambda c: c.allgather(BLOCK).completion_time),
+        ("reduce", lambda c: c.reduce(0, VECTOR).completion_time),
+        ("allreduce", lambda c: c.allreduce(VECTOR).completion_time),
+        ("alltoall", lambda c: c.alltoall(BLOCK).completion_time),
+        ("barrier", lambda c: c.barrier().completion_time),
+    ]
+    print(f"collective completion times (us), {BLOCK}-byte blocks / {VECTOR}-byte vectors")
+    header = "  n  nodes" + "".join(f"{name:>11}" for name, _ in ops)
+    print(header)
+    print("-" * len(header))
+    for n in range(4, 9):
+        comm = HypercubeCollectives(n, algorithm="wsort")
+        row = f"{n:>3}  {1 << n:>5}"
+        for _, fn in ops:
+            row += f"{fn(comm):>11.0f}"
+        print(row)
+    print()
+    print("broadcast/reduce/barrier grow with log N; scatter/gather/allgather")
+    print("are bandwidth-bound (the root moves (N-1) blocks); alltoall moves")
+    print("N(N-1) blocks and dominates everything as the machine grows.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Extending the library: write, verify, and benchmark your own
+multicast algorithm.
+
+The verification machinery (structural checks + the Definition 4
+contention verifier) works on *any* tree builder, so a new routing idea
+can be checked against the theory in a few lines.  This example
+implements a deliberately naive "greedy nearest-neighbor chain"
+algorithm, shows that it is correct but *not* contention-aware, and
+compares it with W-sort.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import ALL_PORT, MulticastTree, WSort, verify_multicast
+from repro.analysis.workloads import random_destination_sets
+from repro.core.addressing import hamming
+from repro.core.paths import ResolutionOrder
+from repro.multicast.base import MulticastAlgorithm
+from repro.simulator import NCUBE2, simulate_multicast
+
+
+class GreedyChain(MulticastAlgorithm):
+    """Visit destinations in nearest-neighbor order, daisy-chained.
+
+    Every node forwards to the unvisited destination closest to it --
+    locally sensible, globally oblivious to channels and ports.
+    """
+
+    name = "greedy-chain"
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        tree = MulticastTree(n, source, destinations, order)
+        remaining = set(destinations)
+        current = source
+        while remaining:
+            nxt = min(remaining, key=lambda d: (hamming(current, d), d))
+            tree.add_send(current, nxt)
+            remaining.remove(nxt)
+            current = nxt
+        return tree
+
+
+def main() -> None:
+    n, m = 6, 24
+    dests = random_destination_sets(n, m, 1, seed=77)[0]
+
+    for alg in (GreedyChain(), WSort()):
+        result = verify_multicast(alg, n, 0, dests, ALL_PORT)
+        tree = alg.build_tree(n, 0, dests)
+        sched = tree.schedule(ALL_PORT)
+        sim = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        print(f"== {alg.name} ==")
+        print(f"   structurally valid + contention-free: {bool(result)}")
+        if not result:
+            for err in result.errors[:3]:
+                print(f"     - {err.splitlines()[0]}")
+        print(f"   steps: {sched.max_step}   tree depth: {tree.depth()}")
+        print(
+            f"   simulated: avg {sim.avg_delay:.0f} us, max {sim.max_delay:.0f} us, "
+            f"blocking {sim.total_blocked_time:.0f} us"
+        )
+        print()
+
+    print("The chain reaches everyone (the structural checks pass) but its")
+    print("depth -- and therefore its delay -- is linear in m, and nothing")
+    print("guarantees its unicasts avoid each other's channels.  The")
+    print("Definition 4 verifier and the simulator's blocking counter both")
+    print("expose that immediately.")
+
+
+if __name__ == "__main__":
+    main()

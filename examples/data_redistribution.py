@@ -1,0 +1,75 @@
+"""Domain scenario: communication time of an iterative solver.
+
+Section 1 of the paper: "In parallel scientific computing, data must be
+redistributed periodically in such a way that all processors can be
+kept busy performing useful tasks."  This example models the
+communication skeleton of a distributed iterative solver on a 64-node
+(6-cube) machine, using the collective library:
+
+1. the master scatters the initial row blocks (personalized data);
+2. each iteration multicasts updated boundary rows to the neighbor
+   *set* that consumes them (the paper's multicast primitive),
+   all-reduces the residual norm, and synchronizes with a barrier;
+3. the master gathers the solution.
+
+It prints the per-phase communication time under U-cube-based and
+W-sort-based multicast so the end-to-end impact of the paper's
+contribution is visible in an application context.
+
+Run:  python examples/data_redistribution.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.workloads import random_destination_sets
+from repro.collectives import HypercubeCollectives
+
+N = 6  # 64 nodes
+ROW_BLOCK = 8192  # bytes per node of matrix rows
+BOUNDARY = 2048  # bytes of boundary rows multicast per iteration
+ITERATIONS = 5
+CONSUMERS = 20  # nodes consuming each iteration's boundary rows
+
+
+def solver_comm_time(algorithm: str) -> dict[str, float]:
+    comm = HypercubeCollectives(N, algorithm=algorithm)
+    phases: dict[str, float] = {}
+
+    phases["scatter rows"] = comm.scatter(root=0, block_size=ROW_BLOCK).completion_time
+
+    multicast_time = 0.0
+    reduce_time = 0.0
+    barrier_time = 0.0
+    for it in range(ITERATIONS):
+        dests = random_destination_sets(N, CONSUMERS, 1, seed=500 + it)[0]
+        multicast_time += comm.multicast(0, dests, BOUNDARY).completion_time
+        reduce_time += comm.allreduce(size=8).completion_time  # one float residual
+        barrier_time += comm.barrier().completion_time
+    phases[f"{ITERATIONS}x boundary multicast"] = multicast_time
+    phases[f"{ITERATIONS}x residual allreduce"] = reduce_time
+    phases[f"{ITERATIONS}x barrier"] = barrier_time
+
+    phases["gather solution"] = comm.gather(root=0, block_size=ROW_BLOCK).completion_time
+    phases["TOTAL"] = sum(v for k, v in phases.items())
+    return phases
+
+
+def main() -> None:
+    print(f"iterative-solver communication skeleton on a {1 << N}-node 6-cube\n")
+    by_alg = {name: solver_comm_time(name) for name in ("ucube", "wsort")}
+    keys = list(by_alg["ucube"])
+    width = max(len(k) for k in keys) + 2
+    print(f"{'phase':<{width}}{'ucube (us)':>14}{'wsort (us)':>14}{'saving':>9}")
+    print("-" * (width + 37))
+    for k in keys:
+        u, w = by_alg["ucube"][k], by_alg["wsort"][k]
+        saving = f"{(1 - w / u) * 100:.0f}%" if u else "-"
+        print(f"{k:<{width}}{u:>14.0f}{w:>14.0f}{saving:>9}")
+    print()
+    print("Only the multicast phase depends on the algorithm -- scatter,")
+    print("reduce, and barrier use fixed dimension-exchange schedules -- but")
+    print("in redistribution-heavy codes that phase dominates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""U-mesh: the paper's one-port story on the Intel-Paragon topology.
+
+The paper's Section 1 lists the 2D mesh (Intel Paragon) alongside the
+hypercube; the U-cube baseline comes from the same work [9] that
+introduced U-mesh for meshes.  This example multicasts from the center
+of an 8x8 mesh to growing random destination sets and shows:
+
+- U-mesh hits the one-port optimum ceil(log2(m+1)) steps, exactly like
+  U-cube on the hypercube;
+- its schedule is contention-free (verified by the Definition 4
+  checker instantiated with XY channel sets) and shows zero channel
+  blocking in the wormhole simulator;
+- the same 64 nodes arranged as a 6-cube still deliver lower delays --
+  the diameter and bisection advantages the hypercube pays for in
+  wiring.
+
+Run:  python examples/mesh_multicast.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.mesh import Mesh2D, UMesh, simulate_mesh_multicast
+from repro.multicast import ONE_PORT, UCube
+from repro.simulator import NCUBE2, simulate_multicast
+
+MESH = Mesh2D(8, 8)
+SOURCE = MESH.node(3, 3)
+
+
+def main() -> None:
+    rnd = random.Random(1993)
+    print("U-mesh multicast from the center of an 8x8 wormhole mesh (one-port)\n")
+    print(f"{'m':>4}{'steps':>7}{'optimal':>9}{'contention':>12}{'mesh delay':>12}{'6-cube delay':>14}")
+    print("-" * 58)
+    for m in (3, 7, 15, 31, 63):
+        dests = rnd.sample([u for u in range(64) if u != SOURCE], m)
+        tree = UMesh().build_tree(MESH, SOURCE, dests)
+        sched = tree.schedule(ONE_PORT)
+        ok = "free" if sched.check_contention().ok else "VIOLATED"
+        res = simulate_mesh_multicast(tree, 4096, NCUBE2, ONE_PORT)
+        cube_tree = UCube().build_tree(6, SOURCE, dests)
+        cube = simulate_multicast(cube_tree, 4096, NCUBE2, ONE_PORT)
+        print(
+            f"{m:>4}{sched.max_step:>7}{math.ceil(math.log2(m + 1)):>9}"
+            f"{ok:>12}{res.max_delay:>12.0f}{cube.max_delay:>14.0f}"
+        )
+    print()
+    print("Same step counts, same contention-freedom: the [9] construction")
+    print("carries over to meshes.  Delays track each other closely because")
+    print("wormhole latency is nearly distance-insensitive -- the mesh's")
+    print("longer paths cost little until the network is loaded.")
+
+
+if __name__ == "__main__":
+    main()

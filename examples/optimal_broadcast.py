@@ -1,0 +1,59 @@
+"""Optimal broadcast techniques: binomial tree vs pipelining vs nESBT.
+
+Broadcast is the most common collective, and the all-port architecture
+changes what "optimal" means.  This example broadcasts messages of
+increasing size across a 64-node 6-cube with three schedules:
+
+1. the plain spanning binomial tree (one port active per node);
+2. the same tree *pipelined* (message segmented, overlapping hops);
+3. Johnsson & Ho's nESBT [reference 5 of the paper]: the message is
+   split across n = 6 edge-disjoint spanning binomial trees so every
+   port of the source works simultaneously, contention-free.
+
+Run:  python examples/optimal_broadcast.py
+"""
+
+from __future__ import annotations
+
+from repro.collectives import (
+    esbt_broadcast_graph,
+    optimal_segments,
+    pipelined_multicast_graph,
+    sbt_broadcast_graph,
+    simulate_comm,
+)
+from repro.multicast import UCube
+from repro.simulator import NCUBE2
+
+N = 6
+
+
+def main() -> None:
+    dests = [u for u in range(1 << N) if u != 0]
+    tree = UCube().build_tree(N, 0, dests)  # == the binomial tree
+
+    print(f"broadcast completion time (us) on a {1 << N}-node {N}-cube\n")
+    print(f"{'bytes':>8}{'binomial':>12}{'pipelined':>12}{'(k)':>5}{'nESBT':>12}{'best speedup':>14}")
+    print("-" * 63)
+    for size in (256, 1024, 4096, 16384, 65536, 262144):
+        sbt = simulate_comm(sbt_broadcast_graph(N, 0, size), NCUBE2).completion_time
+        k = optimal_segments(size, N, NCUBE2)
+        piped = simulate_comm(
+            pipelined_multicast_graph(tree, size, k), NCUBE2
+        ).completion_time
+        esbt = simulate_comm(esbt_broadcast_graph(N, 0, size), NCUBE2).completion_time
+        best = min(piped, esbt)
+        print(
+            f"{size:>8}{sbt:>12.0f}{piped:>12.0f}{k:>5}{esbt:>12.0f}"
+            f"{sbt / best:>13.1f}x"
+        )
+    print()
+    print("Small messages: startup dominates, the binomial tree is already")
+    print("optimal.  Large messages: pipelining removes the depth factor and")
+    print("nESBT additionally multiplies the source's bandwidth by n -- the")
+    print("two classic payoffs of the all-port architecture this paper's")
+    print("multicast algorithms generalize to arbitrary destination sets.")
+
+
+if __name__ == "__main__":
+    main()

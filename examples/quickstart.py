@@ -1,0 +1,46 @@
+"""Quickstart: build, verify, and time a multicast in a 4-cube.
+
+Runs the paper's running example (source 0000, eight destinations in a
+4-cube) through all four algorithms, printing each tree, its step
+schedule, its contention verdict, and its simulated delay on
+nCUBE-2-like hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ALL_PORT, Combine, Maxport, UCube, WSort
+from repro.simulator import NCUBE2, simulate_multicast
+
+# the multicast of Figures 2-3: node 0000 to eight destinations
+N = 4
+SOURCE = 0b0000
+DESTS = [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+
+
+def main() -> None:
+    print(f"multicast from {SOURCE:04b} to {len(DESTS)} destinations in a {N}-cube\n")
+    for alg in (UCube(), Maxport(), Combine(), WSort()):
+        tree = alg.build_tree(N, SOURCE, DESTS)
+        sched = tree.schedule(ALL_PORT)
+        report = sched.check_contention()
+        result = simulate_multicast(tree, size=4096, timings=NCUBE2, ports=ALL_PORT)
+
+        print(f"== {alg.name} ==")
+        for send in tree.sends:
+            print(f"   step {sched.step_of(send)}: {send.src:04b} -> {send.dst:04b}")
+        print(f"   steps: {sched.max_step}   contention: {report.summary()}")
+        print(
+            f"   simulated 4 KB delay: avg {result.avg_delay:.0f} us, "
+            f"max {result.max_delay:.0f} us, "
+            f"header blocking {result.total_blocked_time:.0f} us"
+        )
+        print()
+
+    print("The all-port-aware W-sort finishes in 2 steps where U-cube needs 4")
+    print("(Figure 3 of the paper), with zero channel blocking.")
+
+
+if __name__ == "__main__":
+    main()

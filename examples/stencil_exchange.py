@@ -1,0 +1,77 @@
+"""Stencil halo exchange on a Gray-code-embedded mesh.
+
+Data-parallel languages (the paper's HPF motivation) lay computational
+grids onto the machine.  This example embeds an 8x8 process mesh into a
+6-cube with two-dimensional Gray codes -- making mesh neighbors
+hypercube neighbors -- and runs one halo-exchange phase of a 5-point
+stencil: every process sends its four boundary strips to its mesh
+neighbors, all 256 messages concurrently, modeled as 64 concurrent
+4-destination multicasts.
+
+It then compares the same exchange on a *naive* (row-major) placement,
+where mesh neighbors can be several hops apart and paths collide --
+showing why embeddings and contention-aware communication matter
+together.
+
+Run:  python examples/stencil_exchange.py
+"""
+
+from __future__ import annotations
+
+from repro.core.embedding import mesh_embedding
+from repro.multicast import SeparateAddressing
+from repro.simulator import NCUBE2
+from repro.simulator.multirun import simulate_concurrent_multicasts
+
+ROWS_DIM = COLS_DIM = 3  # 8 x 8 mesh on a 6-cube
+HALO_BYTES = 2048
+
+
+def neighbors(mesh: list[list[int]], r: int, c: int) -> list[int]:
+    """Mesh-neighbor node addresses (non-periodic 5-point stencil)."""
+    out = []
+    if r > 0:
+        out.append(mesh[r - 1][c])
+    if r + 1 < len(mesh):
+        out.append(mesh[r + 1][c])
+    if c > 0:
+        out.append(mesh[r][c - 1])
+    if c + 1 < len(mesh[0]):
+        out.append(mesh[r][c + 1])
+    return out
+
+
+def exchange_time(mesh: list[list[int]]) -> tuple[float, float]:
+    """(makespan, total header blocking) of one halo-exchange phase."""
+    alg = SeparateAddressing()  # four point-to-point halo messages each
+    trees = []
+    for r in range(len(mesh)):
+        for c in range(len(mesh[0])):
+            trees.append(alg.build_tree(ROWS_DIM + COLS_DIM, mesh[r][c], neighbors(mesh, r, c)))
+    res = simulate_concurrent_multicasts(trees, HALO_BYTES, NCUBE2)
+    return res.makespan, res.total_blocked_time
+
+
+def main() -> None:
+    n = ROWS_DIM + COLS_DIM
+    gray_mesh = mesh_embedding(ROWS_DIM, COLS_DIM)
+    naive_mesh = [
+        [r * (1 << COLS_DIM) + c for c in range(1 << COLS_DIM)]
+        for r in range(1 << ROWS_DIM)
+    ]
+
+    print(f"5-point stencil halo exchange, 8x8 process mesh on a {1 << n}-node {n}-cube")
+    print(f"halo strips of {HALO_BYTES} bytes, all processes exchanging at once\n")
+    for label, mesh in (("Gray-code embedding", gray_mesh), ("row-major placement", naive_mesh)):
+        makespan, blocked = exchange_time(mesh)
+        print(f"  {label:<22} makespan {makespan:8.0f} us   header blocking {blocked:8.0f} us")
+
+    print()
+    print("With the Gray-code embedding every halo message is a single hop and")
+    print("each channel carries exactly one message -- zero blocking.  Row-major")
+    print("placement makes vertical neighbors distant, paths overlap, and the")
+    print("same exchange pays for it in blocking and makespan.")
+
+
+if __name__ == "__main__":
+    main()

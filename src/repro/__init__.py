@@ -1,0 +1,79 @@
+"""repro -- Efficient collective data distribution in all-port wormhole-routed hypercubes.
+
+A from-scratch reproduction of Robinson, Judd, McKinley & Cheng,
+*Efficient Collective Data Distribution in All-Port Wormhole-Routed
+Hypercubes* (Supercomputing '93): the contention theory for E-cube
+routed hypercubes, the U-cube / Maxport / Combine / W-sort multicast
+algorithms, a wormhole-routed discrete-event network simulator standing
+in for the nCUBE-2 testbed and the MultiSim tool, a small collective
+communication library built on the multicast primitive, and the full
+evaluation harness regenerating the paper's Figures 9-14.
+
+Quickstart::
+
+    from repro import WSort, ALL_PORT
+
+    tree = WSort().build_tree(n=4, source=0, destinations=[1, 3, 5, 7, 11, 12, 14, 15])
+    schedule = tree.schedule(ALL_PORT)
+    print(schedule.max_step)            # 2 -- Fig. 8(c)
+    assert schedule.check_contention()  # Definition 4 verified
+"""
+
+from repro.collectives.api import HypercubeCollectives
+from repro.core import (
+    ResolutionOrder,
+    Subcube,
+    Unicast,
+    check_contention_free,
+    delta,
+    ecube_path,
+)
+from repro.multicast import (
+    ALGORITHMS,
+    ALL_PORT,
+    ONE_PORT,
+    Combine,
+    DimensionalSAF,
+    Maxport,
+    MulticastAlgorithm,
+    MulticastTree,
+    PortModel,
+    Schedule,
+    SeparateAddressing,
+    UCube,
+    WSort,
+    get_algorithm,
+    k_port,
+    verify_multicast,
+    weighted_sort,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ALL_PORT",
+    "Combine",
+    "DimensionalSAF",
+    "HypercubeCollectives",
+    "Maxport",
+    "MulticastAlgorithm",
+    "MulticastTree",
+    "ONE_PORT",
+    "PortModel",
+    "ResolutionOrder",
+    "Schedule",
+    "SeparateAddressing",
+    "Subcube",
+    "UCube",
+    "Unicast",
+    "WSort",
+    "__version__",
+    "check_contention_free",
+    "delta",
+    "ecube_path",
+    "get_algorithm",
+    "k_port",
+    "verify_multicast",
+    "weighted_sort",
+]

@@ -1,0 +1,42 @@
+"""Evaluation harness: the paper's Section 5 experiments.
+
+- :mod:`repro.analysis.workloads` -- reproducible random destination
+  sets ("the nodes are randomly distributed throughout the hypercube").
+- :mod:`repro.analysis.steps` -- stepwise comparisons (Figures 9-10).
+- :mod:`repro.analysis.delay` -- simulated delay comparisons
+  (Figures 11-14).
+- :mod:`repro.analysis.experiments` -- one definition per figure, with
+  the paper's parameters, plus ablations; each returns a
+  :class:`~repro.analysis.tables.Table`.
+- :mod:`repro.analysis.tables` -- ASCII rendering of result series.
+"""
+
+from repro.analysis.delay import DelayResult, delay_experiment
+from repro.analysis.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.analysis.calibration import fit_timings
+from repro.analysis.load import LoadSummary, channel_load, load_summary
+from repro.analysis.plot import ascii_plot
+from repro.analysis.stats import SampleSummary, paired_improvement, summarize
+from repro.analysis.steps import StepsResult, stepwise_experiment
+from repro.analysis.tables import Table
+from repro.analysis.workloads import random_destination_sets
+
+__all__ = [
+    "DelayResult",
+    "EXPERIMENTS",
+    "Experiment",
+    "LoadSummary",
+    "SampleSummary",
+    "StepsResult",
+    "Table",
+    "ascii_plot",
+    "channel_load",
+    "delay_experiment",
+    "fit_timings",
+    "load_summary",
+    "paired_improvement",
+    "random_destination_sets",
+    "run_experiment",
+    "stepwise_experiment",
+    "summarize",
+]

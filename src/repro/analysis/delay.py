@@ -1,0 +1,94 @@
+"""Delay comparisons on the wormhole simulator (Figures 11-14).
+
+For each destination-set size, random sets are multicast through the
+timed network model; we record, per set, the *average* and *maximum*
+delay across destinations, then average over the sets -- exactly the
+quantities plotted in Figures 11/13 (average) and 12/14 (maximum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Sequence
+
+from repro.analysis.workloads import random_destination_sets
+from repro.multicast.base import MulticastAlgorithm
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.simulator.params import NCUBE2, Timings
+from repro.simulator.run import simulate_multicast
+
+__all__ = ["DelayResult", "delay_experiment"]
+
+
+@dataclass(slots=True)
+class DelayResult:
+    """Mean-of-average and mean-of-maximum destination delays (us)."""
+
+    n: int
+    m_values: list[int]
+    sets_per_point: int
+    size: int
+    timings: Timings
+    ports: PortModel
+    avg_delay: dict[str, list[float]]
+    max_delay: dict[str, list[float]]
+    blocked_time: dict[str, list[float]]
+
+    def series(self, algorithm: str, metric: str = "avg") -> list[tuple[int, float]]:
+        data = self.avg_delay if metric == "avg" else self.max_delay
+        return list(zip(self.m_values, data[algorithm]))
+
+
+def delay_experiment(
+    n: int,
+    m_values: Sequence[int],
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    sets_per_point: int = 20,
+    size: int = 4096,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+    seed: int = 1993,
+    source: int = 0,
+) -> DelayResult:
+    """Run the Figures 11-14 experiment.
+
+    Args:
+        n: cube dimension (5 for the nCUBE-2 figures, 10 for the
+            MultiSim figures).
+        m_values: destination-set sizes to sweep.
+        sets_per_point: random sets per point (paper: 20 on the nCUBE-2,
+            100 in simulation).
+        size: message length in bytes (paper: 4096).
+    """
+    algs: dict[str, MulticastAlgorithm] = {name: get_algorithm(name) for name in algorithms}
+    avg_delay: dict[str, list[float]] = {name: [] for name in algorithms}
+    max_delay: dict[str, list[float]] = {name: [] for name in algorithms}
+    blocked: dict[str, list[float]] = {name: [] for name in algorithms}
+
+    for i, m in enumerate(m_values):
+        sets = random_destination_sets(n, m, sets_per_point, seed=seed + i, source=source)
+        for name, alg in algs.items():
+            avgs, maxs, blks = [], [], []
+            for dests in sets:
+                tree = alg.build_tree(n, source, dests)
+                res = simulate_multicast(tree, size=size, timings=timings, ports=ports)
+                avgs.append(res.avg_delay)
+                maxs.append(res.max_delay)
+                blks.append(res.total_blocked_time)
+            avg_delay[name].append(mean(avgs))
+            max_delay[name].append(mean(maxs))
+            blocked[name].append(mean(blks))
+
+    return DelayResult(
+        n=n,
+        m_values=list(m_values),
+        sets_per_point=sets_per_point,
+        size=size,
+        timings=timings,
+        ports=ports,
+        avg_delay=avg_delay,
+        max_delay=max_delay,
+        blocked_time=blocked,
+    )

@@ -1,0 +1,386 @@
+"""One experiment definition per paper figure, plus ablations.
+
+Each experiment regenerates the series behind one figure of Section 5
+(see the experiment index in DESIGN.md) and returns a
+:class:`~repro.analysis.tables.Table` whose columns are the figure's
+curves.  ``fast=True`` (the default unless the ``REPRO_FULL``
+environment variable is set) thins the sweep so the whole harness runs
+in minutes; the full paper-parity parameters are used when
+``fast=False``.  Both are deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from statistics import mean
+from typing import Callable
+
+from repro.analysis.delay import delay_experiment
+from repro.analysis.steps import stepwise_experiment
+from repro.analysis.tables import Table, linear_grid
+from repro.analysis.workloads import random_destination_sets
+from repro.core.paths import ResolutionOrder
+from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
+from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.simulator.params import NCUBE2
+from repro.simulator.run import simulate_multicast
+
+__all__ = ["EXPERIMENTS", "Experiment", "run_experiment"]
+
+
+def default_fast() -> bool:
+    """Fast mode unless REPRO_FULL is set to a truthy value."""
+    return os.environ.get("REPRO_FULL", "") in ("", "0", "false", "no")
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """A named, runnable reproduction of one figure."""
+
+    id: str
+    title: str
+    description: str
+    runner: Callable[[bool], Table]
+
+    def run(self, fast: bool | None = None) -> Table:
+        if fast is None:
+            fast = default_fast()
+        return self.runner(fast)
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-10: stepwise comparisons
+# ---------------------------------------------------------------------------
+
+
+def _fig9(fast: bool) -> Table:
+    m_values = [1] + linear_grid(2, 63, 2 if not fast else 4)
+    sets = 100 if not fast else 40
+    res = stepwise_experiment(n=6, m_values=m_values, sets_per_point=sets)
+    return Table(
+        title=f"Figure 9: average max steps, 6-cube ({sets} random sets/point)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={name: res.mean_steps[name] for name in PAPER_ALGORITHMS},
+        notes=["all-port greedy step schedule; source node 0"],
+    )
+
+
+def _fig10(fast: bool) -> Table:
+    if fast:
+        m_values = [1, 10, 50, 100, 200, 400, 600, 800, 1000, 1023]
+        sets = 20
+    else:
+        m_values = [1, 10, 25] + linear_grid(50, 1000, 50) + [1023]
+        sets = 100
+    res = stepwise_experiment(n=10, m_values=m_values, sets_per_point=sets)
+    return Table(
+        title=f"Figure 10: average max steps, 10-cube ({sets} random sets/point)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={name: res.mean_steps[name] for name in PAPER_ALGORITHMS},
+        notes=["all-port greedy step schedule; source node 0"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-12: "nCUBE-2" (simulated 5-cube) delays, 4096-byte messages
+# ---------------------------------------------------------------------------
+
+
+def _delay_5cube(fast: bool):
+    m_values = list(range(1, 32)) if not fast else [1, 2, 4, 7, 8, 12, 15, 16, 24, 31]
+    sets = 20
+    return delay_experiment(
+        n=5, m_values=m_values, sets_per_point=sets, size=4096, timings=NCUBE2
+    )
+
+
+def _fig11(fast: bool) -> Table:
+    res = _delay_5cube(fast)
+    return Table(
+        title="Figure 11: average delay (us), 4096-byte multicast, 5-cube (20 sets/point)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={name: res.avg_delay[name] for name in PAPER_ALGORITHMS},
+        notes=["nCUBE-2 testbed substituted by the calibrated simulator (DESIGN.md S4)"],
+    )
+
+
+def _fig12(fast: bool) -> Table:
+    res = _delay_5cube(fast)
+    return Table(
+        title="Figure 12: maximum delay (us), 4096-byte multicast, 5-cube (20 sets/point)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={name: res.max_delay[name] for name in PAPER_ALGORITHMS},
+        notes=["nCUBE-2 testbed substituted by the calibrated simulator (DESIGN.md S4)"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 13-14: simulated 10-cube delays
+# ---------------------------------------------------------------------------
+
+
+def _delay_10cube(fast: bool):
+    if fast:
+        m_values = [1, 50, 100, 200, 400, 700, 1023]
+        sets = 12
+    else:
+        m_values = [1, 10, 25] + linear_grid(50, 1000, 50) + [1023]
+        sets = 100
+    return delay_experiment(
+        n=10, m_values=m_values, sets_per_point=sets, size=4096, timings=NCUBE2
+    )
+
+
+def _fig13(fast: bool) -> Table:
+    res = _delay_10cube(fast)
+    sets = res.sets_per_point
+    return Table(
+        title=f"Figure 13: average delay (us), 4096-byte multicast, 10-cube ({sets} sets/point)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={name: res.avg_delay[name] for name in PAPER_ALGORITHMS},
+        notes=["MultiSim substituted by repro.simulator (DESIGN.md S4)"],
+    )
+
+
+def _fig14(fast: bool) -> Table:
+    res = _delay_10cube(fast)
+    sets = res.sets_per_point
+    return Table(
+        title=f"Figure 14: maximum delay (us), 4096-byte multicast, 10-cube ({sets} sets/point)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={name: res.max_delay[name] for name in PAPER_ALGORITHMS},
+        notes=["MultiSim substituted by repro.simulator (DESIGN.md S4)"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out; beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def _ablation_ports(fast: bool) -> Table:
+    """W-sort under one-port / 2-port / all-port injection."""
+    m_values = [1, 4, 8, 16, 32, 63] if fast else [1, 2, 4, 8, 16, 24, 32, 48, 63]
+    sets = 15 if fast else 40
+    alg = get_algorithm("wsort")
+    columns: dict[str, list[float]] = {"one-port": [], "2-port": [], "all-port": []}
+    for i, m in enumerate(m_values):
+        per = {"one-port": [], "2-port": [], "all-port": []}
+        for dests in random_destination_sets(6, m, sets, seed=7100 + i):
+            tree = alg.build_tree(6, 0, dests)
+            for label, ports in (
+                ("one-port", ONE_PORT),
+                ("2-port", k_port(2)),
+                ("all-port", ALL_PORT),
+            ):
+                per[label].append(simulate_multicast(tree, 4096, NCUBE2, ports).avg_delay)
+        for label in columns:
+            columns[label].append(mean(per[label]))
+    return Table(
+        title="Ablation: port model (W-sort, 6-cube, 4096 bytes, avg delay us)",
+        x_label="m",
+        x_values=m_values,
+        columns=columns,
+    )
+
+
+def _ablation_wsort(fast: bool) -> Table:
+    """The value of weighted_sort: Maxport with vs without it."""
+    m_values = [1, 4, 8, 16, 32, 63] if fast else [1, 2, 4, 8, 12, 16, 24, 32, 48, 63]
+    sets = 25 if fast else 100
+    res = stepwise_experiment(
+        n=6, m_values=m_values, algorithms=("maxport", "wsort"), sets_per_point=sets
+    )
+    return Table(
+        title="Ablation: weighted_sort (mean max steps, 6-cube, all-port)",
+        x_label="m",
+        x_values=res.m_values,
+        columns={"maxport": res.mean_steps["maxport"], "wsort": res.mean_steps["wsort"]},
+    )
+
+
+def _ablation_msgsize(fast: bool) -> Table:
+    """Startup- vs bandwidth-dominated regimes (fixed m=16, 6-cube)."""
+    sizes = [16, 64, 256, 1024, 4096, 16384]
+    sets = 10 if fast else 30
+    columns: dict[str, list[float]] = {name: [] for name in PAPER_ALGORITHMS}
+    dest_sets = random_destination_sets(6, 16, sets, seed=7300)
+    for size in sizes:
+        for name in PAPER_ALGORITHMS:
+            alg = get_algorithm(name)
+            vals = [
+                simulate_multicast(alg.build_tree(6, 0, d), size, NCUBE2, ALL_PORT).avg_delay
+                for d in dest_sets
+            ]
+            columns[name].append(mean(vals))
+    return Table(
+        title="Ablation: message size (avg delay us, m=16, 6-cube, all-port)",
+        x_label="bytes",
+        x_values=sizes,
+        columns=columns,
+    )
+
+
+def _ablation_resolution(fast: bool) -> Table:
+    """E-cube resolution order: aggregate results are order-invariant."""
+    m_values = [1, 4, 8, 16, 32, 63] if fast else [1, 2, 4, 8, 16, 32, 48, 63]
+    sets = 25 if fast else 100
+    columns: dict[str, list[float]] = {"desc": [], "asc": []}
+    alg = get_algorithm("maxport")
+    for i, m in enumerate(m_values):
+        d_vals, a_vals = [], []
+        for dests in random_destination_sets(6, m, sets, seed=7400 + i):
+            d_vals.append(
+                alg.schedule(6, 0, dests, ALL_PORT, ResolutionOrder.DESCENDING).max_step
+            )
+            a_vals.append(
+                alg.schedule(6, 0, dests, ALL_PORT, ResolutionOrder.ASCENDING).max_step
+            )
+        columns["desc"].append(mean(d_vals))
+        columns["asc"].append(mean(a_vals))
+    return Table(
+        title="Ablation: E-cube resolution order (Maxport mean max steps, 6-cube)",
+        x_label="m",
+        x_values=m_values,
+        columns=columns,
+    )
+
+
+def _ablation_sensitivity(fast: bool) -> Table:
+    """Sensitivity of the U-cube -> W-sort improvement to the timing
+    constants (beyond the paper).
+
+    The absolute nCUBE-2 constants are a substitution (DESIGN.md S4);
+    this sweep shows the *conclusion* is insensitive to them: the
+    relative improvement of W-sort over U-cube (average delay, m=16,
+    6-cube) as the software startup is scaled from 1/4x to 4x the
+    calibrated value, for three per-byte bandwidth scalings.
+    """
+    from repro.simulator.params import Timings
+
+    setup_scales = [0.25, 0.5, 1.0, 2.0, 4.0]
+    byte_scales = [0.25, 1.0, 4.0]
+    sets = 10 if fast else 30
+    dest_sets = random_destination_sets(6, 16, sets, seed=7600)
+    ucube = get_algorithm("ucube")
+    wsort = get_algorithm("wsort")
+    columns: dict[str, list[float]] = {f"tbyte_x{b:g}": [] for b in byte_scales}
+    for s in setup_scales:
+        for b in byte_scales:
+            t = Timings(
+                t_setup=NCUBE2.t_setup * s,
+                t_recv=NCUBE2.t_recv * s,
+                t_byte=NCUBE2.t_byte * b,
+                t_hop=NCUBE2.t_hop,
+            )
+            u_vals, w_vals = [], []
+            for d in dest_sets:
+                u_vals.append(
+                    simulate_multicast(ucube.build_tree(6, 0, d), 4096, t, ALL_PORT).avg_delay
+                )
+                w_vals.append(
+                    simulate_multicast(wsort.build_tree(6, 0, d), 4096, t, ALL_PORT).avg_delay
+                )
+            improvement = 100.0 * (1.0 - mean(w_vals) / mean(u_vals))
+            columns[f"tbyte_x{b:g}"].append(improvement)
+    return Table(
+        title="Ablation: timing sensitivity (W-sort improvement over U-cube, %, m=16)",
+        x_label="setup_x4",  # x values are setup scale * 4 (integers)
+        x_values=[int(s * 4) for s in setup_scales],
+        columns=columns,
+        notes=["x axis: software-overhead scale x4 (1 = quarter, 16 = 4x calibrated)"],
+    )
+
+
+def _ablation_concurrent(fast: bool) -> Table:
+    """Interference between concurrent multicasts (beyond the paper).
+
+    k simultaneous multicasts, each from a distinct random source to 16
+    random destinations in a 6-cube; the metric is the mean (over
+    operations and trials) of the per-operation average delay.
+    """
+    import numpy as np
+
+    from repro.simulator.multirun import simulate_concurrent_multicasts
+
+    ks = [1, 2, 4, 8]
+    trials = 8 if fast else 25
+    columns: dict[str, list[float]] = {name: [] for name in PAPER_ALGORITHMS}
+    for k in ks:
+        per = {name: [] for name in PAPER_ALGORITHMS}
+        for t in range(trials):
+            rng = np.random.default_rng(7500 + 97 * k + t)
+            sources = [int(s) for s in rng.choice(64, size=k, replace=False)]
+            dest_sets = []
+            for s in sources:
+                cand = np.array([u for u in range(64) if u != s])
+                dest_sets.append(sorted(int(x) for x in rng.choice(cand, 16, replace=False)))
+            for name in PAPER_ALGORITHMS:
+                alg = get_algorithm(name)
+                trees = [
+                    alg.build_tree(6, s, d) for s, d in zip(sources, dest_sets)
+                ]
+                res = simulate_concurrent_multicasts(trees, 4096, NCUBE2, ALL_PORT)
+                per[name].append(mean(res.avg_delays))
+        for name in PAPER_ALGORITHMS:
+            columns[name].append(mean(per[name]))
+    return Table(
+        title="Ablation: k concurrent multicasts (mean avg delay us, m=16, 6-cube)",
+        x_label="k",
+        x_values=ks,
+        columns=columns,
+    )
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment("fig9", "Stepwise comparisons, 6-cube", "Figure 9", _fig9),
+        Experiment("fig10", "Stepwise comparisons, 10-cube", "Figure 10", _fig10),
+        Experiment("fig11", "Average delay, 5-cube nCUBE-2", "Figure 11", _fig11),
+        Experiment("fig12", "Maximum delay, 5-cube nCUBE-2", "Figure 12", _fig12),
+        Experiment("fig13", "Average delay, 10-cube simulation", "Figure 13", _fig13),
+        Experiment("fig14", "Maximum delay, 10-cube simulation", "Figure 14", _fig14),
+        Experiment("ablation-ports", "Port-model ablation", "beyond the paper", _ablation_ports),
+        Experiment("ablation-wsort", "weighted_sort ablation", "beyond the paper", _ablation_wsort),
+        Experiment(
+            "ablation-msgsize", "Message-size ablation", "beyond the paper", _ablation_msgsize
+        ),
+        Experiment(
+            "ablation-resolution",
+            "Resolution-order ablation",
+            "beyond the paper",
+            _ablation_resolution,
+        ),
+        Experiment(
+            "ablation-concurrent",
+            "Concurrent-multicast interference",
+            "beyond the paper",
+            _ablation_concurrent,
+        ),
+        Experiment(
+            "ablation-sensitivity",
+            "Timing-constant sensitivity",
+            "beyond the paper",
+            _ablation_sensitivity,
+        ),
+    ]
+}
+
+
+def run_experiment(exp_id: str, fast: bool | None = None) -> Table:
+    """Run a registered experiment by id (``fig9`` ... ``fig14``, or an
+    ablation id)."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return exp.run(fast)

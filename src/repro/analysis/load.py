@@ -1,0 +1,59 @@
+"""Static channel-load analysis of multicast trees.
+
+Counts how many of a tree's unicasts traverse each directed channel.
+A maximum multiplicity of 1 means the tree's paths are *globally*
+arc-disjoint -- sufficient for contention-freedom under any timing
+whatsoever, and the structural reason Maxport and W-sort never block
+in the simulator.  U-cube and Combine reuse channels across steps
+(multiplicity > 1), which is safe only because of Definition 4's
+timing condition -- and is exactly what hurts them when timing
+assumptions erode (background traffic, concurrent operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.paths import Arc, ecube_arcs
+from repro.multicast.base import MulticastTree
+
+__all__ = ["LoadSummary", "channel_load", "load_summary"]
+
+
+def channel_load(tree: MulticastTree) -> dict[Arc, int]:
+    """Number of the tree's unicasts crossing each directed channel."""
+    load: dict[Arc, int] = {}
+    for s in tree.sends:
+        for arc in ecube_arcs(s.src, s.dst, tree.order):
+            load[arc] = load.get(arc, 0) + 1
+    return load
+
+
+@dataclass(frozen=True, slots=True)
+class LoadSummary:
+    """Aggregate channel-load metrics for one tree.
+
+    Attributes:
+        distinct_channels: channels used at least once.
+        total_traversals: sum of loads (== total hops).
+        max_multiplicity: heaviest channel's load; 1 means globally
+            arc-disjoint paths.
+        mean_multiplicity: total / distinct.
+    """
+
+    distinct_channels: int
+    total_traversals: int
+    max_multiplicity: int
+    mean_multiplicity: float
+
+
+def load_summary(tree: MulticastTree) -> LoadSummary:
+    """Compute :class:`LoadSummary` for a tree."""
+    load = channel_load(tree)
+    total = sum(load.values())
+    return LoadSummary(
+        distinct_channels=len(load),
+        total_traversals=total,
+        max_multiplicity=max(load.values(), default=0),
+        mean_multiplicity=total / len(load) if load else 0.0,
+    )

@@ -1,0 +1,72 @@
+"""ASCII line plots for experiment tables.
+
+The paper's results are figures; when a terminal is all you have, a
+coarse character plot of the same series still shows the staircase and
+the crossovers.  Used by the CLI's ``experiment --plot`` flag.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(table: Table, width: int = 64, height: int = 18) -> str:
+    """Render a Table's columns as an ASCII scatter/line plot.
+
+    Each column gets a marker character; overlapping points show the
+    marker of the first column plotted (legend order).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    xs = table.x_values
+    if not xs:
+        return "(no data)"
+    all_vals = [v for col in table.columns.values() for v in col]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: int, v: float) -> tuple[int, int]:
+        cx = round((x - x_lo) / x_span * (width - 1))
+        cy = height - 1 - round((v - lo) / span * (height - 1))
+        return cy, cx
+
+    for idx, (name, col) in enumerate(table.columns.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, v in zip(xs, col):
+            cy, cx = cell(x, v)
+            if grid[cy][cx] == " ":
+                grid[cy][cx] = marker
+
+    y_labels = [f"{hi:.4g}", f"{(lo + hi) / 2:.4g}", f"{lo:.4g}"]
+    label_w = max(len(s) for s in y_labels)
+    lines = [table.title]
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_labels[0]
+        elif r == height // 2:
+            label = y_labels[1]
+        elif r == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w
+        + f"  {x_lo}".ljust(width // 2)
+        + f"{table.x_label}".center(8)
+        + f"{x_hi}".rjust(width // 2 - 8)
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(table.columns)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Summary statistics for experiment samples.
+
+The paper reports point averages over random destination sets; for a
+faithful comparison the reproduction also reports dispersion.  Plain
+formulas (mean, sample standard deviation, normal-approximation
+confidence intervals) implemented on numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SampleSummary", "paired_improvement", "summarize"]
+
+#: two-sided z critical values
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True, slots=True)
+class SampleSummary:
+    """Mean, spread, and a normal-approximation confidence interval."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.3g} +- {self.std:.2g} "
+            f"[{self.ci_low:.3g}, {self.ci_high:.3g}]@{self.confidence:.0%} (n={self.count})"
+        )
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> SampleSummary:
+    """Summarize a sample; the CI uses the normal approximation
+    (adequate at the paper's 20-100 sets per point)."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample")
+    if confidence not in _Z:
+        raise ValueError(f"confidence must be one of {sorted(_Z)}")
+    arr = np.asarray(samples, dtype=float)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = _Z[confidence] * std / np.sqrt(arr.size)
+    return SampleSummary(
+        count=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=mean - float(half),
+        ci_high=mean + float(half),
+        confidence=confidence,
+    )
+
+
+def paired_improvement(
+    baseline: Sequence[float], improved: Sequence[float], confidence: float = 0.95
+) -> SampleSummary:
+    """Summary of per-pair relative improvement ``1 - improved/baseline``.
+
+    The experiments are paired (same random destination sets for every
+    algorithm), so per-pair ratios are the statistically honest way to
+    quote the speedup.
+    """
+    if len(baseline) != len(improved):
+        raise ValueError("paired samples must have equal length")
+    base = np.asarray(baseline, dtype=float)
+    if np.any(base == 0):
+        raise ValueError("baseline contains zeros")
+    ratios = 1.0 - np.asarray(improved, dtype=float) / base
+    return summarize([float(r) for r in ratios], confidence)

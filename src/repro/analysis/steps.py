@@ -1,0 +1,82 @@
+"""Stepwise comparisons (Figures 9 and 10).
+
+For each destination-set size ``m``, draw random sets and record the
+*maximum number of steps* each algorithm needs to reach all
+destinations on an all-port machine; report the average (and extremes)
+over the sets.  U-cube's curve is the ``ceil(log2(m + 1))`` staircase;
+the all-port algorithms fall below it and smooth it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Sequence
+
+from repro.analysis.workloads import random_destination_sets
+from repro.multicast.base import MulticastAlgorithm
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+
+__all__ = ["StepsResult", "stepwise_experiment"]
+
+
+@dataclass(slots=True)
+class StepsResult:
+    """Average/min/max of the per-set maximum step count, one series
+    per algorithm."""
+
+    n: int
+    m_values: list[int]
+    sets_per_point: int
+    ports: PortModel
+    mean_steps: dict[str, list[float]]
+    min_steps: dict[str, list[int]]
+    max_steps: dict[str, list[int]]
+
+    def series(self, algorithm: str) -> list[tuple[int, float]]:
+        """``(m, mean max steps)`` pairs for one algorithm."""
+        return list(zip(self.m_values, self.mean_steps[algorithm]))
+
+
+def stepwise_experiment(
+    n: int,
+    m_values: Sequence[int],
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    sets_per_point: int = 100,
+    seed: int = 1993,
+    ports: PortModel = ALL_PORT,
+    source: int = 0,
+) -> StepsResult:
+    """Run the Figures 9/10 experiment.
+
+    Args:
+        n: cube dimension (6 for Fig. 9, 10 for Fig. 10).
+        m_values: destination-set sizes to sweep.
+        algorithms: registry names, one curve each.
+        sets_per_point: random sets per (m, algorithm) point (paper: 100).
+        seed: RNG seed; the same sets are used for all algorithms, as in
+            a paired experiment.
+    """
+    algs: dict[str, MulticastAlgorithm] = {name: get_algorithm(name) for name in algorithms}
+    mean_steps: dict[str, list[float]] = {name: [] for name in algorithms}
+    min_steps: dict[str, list[int]] = {name: [] for name in algorithms}
+    max_steps: dict[str, list[int]] = {name: [] for name in algorithms}
+
+    for i, m in enumerate(m_values):
+        sets = random_destination_sets(n, m, sets_per_point, seed=seed + i, source=source)
+        for name, alg in algs.items():
+            counts = [alg.schedule(n, source, dests, ports).max_step for dests in sets]
+            mean_steps[name].append(mean(counts))
+            min_steps[name].append(min(counts))
+            max_steps[name].append(max(counts))
+
+    return StepsResult(
+        n=n,
+        m_values=list(m_values),
+        sets_per_point=sets_per_point,
+        ports=ports,
+        mean_steps=mean_steps,
+        min_steps=min_steps,
+        max_steps=max_steps,
+    )

@@ -1,0 +1,151 @@
+"""ASCII rendering of experiment results.
+
+Each paper figure is a set of curves (one per algorithm) over the
+destination-count axis; a :class:`Table` is its textual equivalent --
+one row per ``m``, one column per algorithm -- which the benchmark
+harness prints so the figures can be compared series-by-series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+@dataclass(slots=True)
+class Table:
+    """A printable result table for one experiment."""
+
+    title: str
+    x_label: str
+    x_values: list[int]
+    columns: dict[str, list[float]]
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name, values in self.columns.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"column {name!r} has {len(values)} values for "
+                    f"{len(self.x_values)} x-points"
+                )
+
+    def column(self, name: str) -> list[float]:
+        return self.columns[name]
+
+    def row(self, x: int) -> dict[str, float]:
+        i = self.x_values.index(x)
+        return {name: vals[i] for name, vals in self.columns.items()}
+
+    def render(self, precision: int = 2) -> str:
+        """Fixed-width text rendering."""
+        names = list(self.columns)
+        widths = [max(len(self.x_label), 6)] + [
+            max(len(name), 10) for name in names
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            [self.x_label.rjust(widths[0])]
+            + [name.rjust(w) for name, w in zip(names, widths[1:])]
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for i, x in enumerate(self.x_values):
+            cells = [str(x).rjust(widths[0])]
+            for name, w in zip(names, widths[1:]):
+                cells.append(f"{self.columns[name][i]:.{precision}f}".rjust(w))
+            lines.append("  ".join(cells))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    def to_json(self) -> str:
+        """Serialize (title, axes, columns, notes) as a JSON document."""
+        import json
+
+        return json.dumps(
+            {
+                "title": self.title,
+                "x_label": self.x_label,
+                "x_values": self.x_values,
+                "columns": self.columns,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Table":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        data = json.loads(text)
+        return cls(
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=list(data["x_values"]),
+            columns={k: list(v) for k, v in data["columns"].items()},
+            notes=list(data.get("notes", [])),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "Table":
+        """Parse a table back from its :meth:`render` output (round-trip).
+
+        Used to re-validate archived experiment results without
+        re-running the sweep.
+        """
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if len(lines) < 4:
+            raise ValueError("not a rendered Table")
+        title = lines[0]
+        header_idx = 2
+        header = lines[header_idx].split()
+        x_label, names = header[0], header[1:]
+        x_values: list[int] = []
+        columns: dict[str, list[float]] = {name: [] for name in names}
+        notes: list[str] = []
+        for ln in lines[header_idx + 2 :]:
+            stripped = ln.strip()
+            if stripped.startswith("note:"):
+                notes.append(stripped[len("note:") :].strip())
+                continue
+            cells = stripped.split()
+            if len(cells) != len(names) + 1:
+                raise ValueError(f"malformed row: {ln!r}")
+            x_values.append(int(cells[0]))
+            for name, cell in zip(names, cells[1:]):
+                columns[name].append(float(cell))
+        return cls(title, x_label, x_values, columns, notes)
+
+
+def geometric_grid(lo: int, hi: int, points: int) -> list[int]:
+    """Roughly geometric integer grid from ``lo`` to ``hi`` inclusive."""
+    if lo < 1 or hi < lo or points < 1:
+        raise ValueError("need 1 <= lo <= hi and points >= 1")
+    if points == 1:
+        return [hi]
+    values: list[int] = []
+    ratio = (hi / lo) ** (1.0 / (points - 1))
+    x = float(lo)
+    for _ in range(points):
+        v = round(x)
+        if not values or v > values[-1]:
+            values.append(v)
+        x *= ratio
+    if values[-1] != hi:
+        values.append(hi)
+    return values
+
+
+def linear_grid(lo: int, hi: int, step: int) -> list[int]:
+    """Linear integer grid ``lo, lo+step, ...`` always including ``hi``."""
+    values = list(range(lo, hi + 1, step))
+    if values[-1] != hi:
+        values.append(hi)
+    return values

@@ -1,0 +1,44 @@
+"""Random multicast workloads, reproducibly generated.
+
+The paper draws, for each point of each curve, a number of destination
+sets "randomly distributed throughout the hypercube" (100 sets for the
+stepwise and 10-cube experiments, 20 for the nCUBE-2 measurements).
+Node 0 is used as the source throughout -- the hypercube is
+vertex-transitive, so this loses no generality (a property the test
+suite checks directly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_destination_sets"]
+
+
+def random_destination_sets(
+    n: int,
+    m: int,
+    count: int,
+    seed: int,
+    source: int = 0,
+) -> list[list[int]]:
+    """Draw ``count`` sets of ``m`` distinct destinations in an ``n``-cube.
+
+    Destinations are uniform without replacement over all nodes except
+    ``source``.  Deterministic in ``(n, m, count, seed, source)``.
+
+    Raises:
+        ValueError: if ``m`` exceeds the number of candidate nodes.
+    """
+    size = 1 << n
+    if not 0 <= source < size:
+        raise ValueError(f"source {source} out of range for an {n}-cube")
+    if not 1 <= m <= size - 1:
+        raise ValueError(f"cannot pick {m} destinations from {size - 1} candidates")
+    rng = np.random.default_rng(seed)
+    candidates = np.array([u for u in range(size) if u != source])
+    sets: list[list[int]] = []
+    for _ in range(count):
+        picks = rng.choice(candidates, size=m, replace=False)
+        sets.append(sorted(int(x) for x in picks))
+    return sets

@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro-hypercube`` / ``python -m repro``.
+
+Subcommands:
+
+- ``list`` -- show registered algorithms and experiments.
+- ``tree`` -- build and print one multicast tree and its schedule.
+- ``experiment`` -- run a figure reproduction and print its table.
+- ``collective`` -- time one collective operation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.collectives.api import HypercubeCollectives
+from repro.core.paths import ResolutionOrder
+from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
+from repro.multicast.registry import ALGORITHMS, get_algorithm
+from repro.simulator.params import NCUBE2
+from repro.simulator.run import simulate_multicast
+
+__all__ = ["main"]
+
+
+def _parse_ports(text: str):
+    if text == "all":
+        return ALL_PORT
+    if text == "one" or text == "1":
+        return ONE_PORT
+    return k_port(int(text))
+
+
+def _parse_dests(text: str) -> list[int]:
+    return [int(tok, 0) for tok in text.replace(",", " ").split()]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("algorithms:")
+    for name in sorted(ALGORITHMS):
+        print(f"  {name}")
+    print("experiments:")
+    for exp in EXPERIMENTS.values():
+        print(f"  {exp.id:<22} {exp.title} ({exp.description})")
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    alg = get_algorithm(args.algorithm)
+    dests = _parse_dests(args.destinations)
+    order = ResolutionOrder.ASCENDING if args.ascending else ResolutionOrder.DESCENDING
+    tree = alg.build_tree(args.n, args.source, dests, order)
+    ports = _parse_ports(args.ports)
+    sched = tree.schedule(ports)
+    width = args.n
+    print(f"{alg.name} multicast in a {args.n}-cube, {ports.name}")
+    print(f"source {args.source:0{width}b}, {len(dests)} destination(s)")
+    for send in tree.sends:
+        step = sched.step_of(send)
+        print(f"  step {step}: {send.src:0{width}b} -> {send.dst:0{width}b}")
+    print(f"steps: {sched.max_step}   tree depth: {tree.depth()}   hops: {tree.total_hops()}")
+    report = sched.check_contention()
+    print(f"contention check: {report.summary()}")
+    if args.simulate or args.timeline:
+        res = simulate_multicast(tree, args.size, NCUBE2, ports, trace=args.timeline)
+        print(
+            f"simulated (4096B unless --size): avg {res.avg_delay:.0f} us, "
+            f"max {res.max_delay:.0f} us, blocked {res.total_blocked_time:.0f} us"
+        )
+        if args.timeline:
+            from repro.simulator.timeline import render_timeline
+
+            print()
+            print(render_timeline(res.network.trace, args.n))
+    return 0 if report.ok else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    table = run_experiment(args.id, fast=not args.full)
+    if args.json:
+        print(table.to_json())
+        return 0
+    print(table.render(args.precision))
+    if args.plot:
+        from repro.analysis.plot import ascii_plot
+
+        print()
+        print(ascii_plot(table))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import markdown_report
+
+    figures = args.figures.split(",") if args.figures else None
+    print(markdown_report(fast=not args.full, figures=figures))
+    return 0
+
+
+def _cmd_collective(args: argparse.Namespace) -> int:
+    comm = HypercubeCollectives(
+        args.n, ports=_parse_ports(args.ports), algorithm=args.algorithm
+    )
+    op = args.op
+    if op == "broadcast":
+        r = comm.broadcast(args.root, args.size)
+        print(f"broadcast: avg {r.avg_delay:.0f} us, max {r.max_delay:.0f} us")
+    elif op == "multicast":
+        r = comm.multicast(args.root, _parse_dests(args.destinations or "1"), args.size)
+        print(f"multicast: avg {r.avg_delay:.0f} us, max {r.max_delay:.0f} us")
+    else:
+        runner = {
+            "scatter": lambda: comm.scatter(args.root, args.size),
+            "gather": lambda: comm.gather(args.root, args.size),
+            "allgather": lambda: comm.allgather(args.size),
+            "reduce": lambda: comm.reduce(args.root, args.size),
+            "allreduce": lambda: comm.allreduce(args.size),
+            "barrier": lambda: comm.barrier(),
+        }[op]
+        r = runner()
+        print(f"{op}: completion {r.completion_time:.0f} us ({r.events} events)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hypercube",
+        description="All-port wormhole-routed hypercube multicast (SC'93 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list algorithms and experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_tree = sub.add_parser("tree", help="build and print a multicast tree")
+    p_tree.add_argument("-n", type=int, required=True, help="cube dimension")
+    p_tree.add_argument("-s", "--source", type=int, default=0)
+    p_tree.add_argument("-d", "--destinations", required=True, help="e.g. '1,3,5' or '0b101 7'")
+    p_tree.add_argument("-a", "--algorithm", default="wsort", choices=sorted(ALGORITHMS))
+    p_tree.add_argument("-p", "--ports", default="all", help="'one', 'all', or k")
+    p_tree.add_argument("--ascending", action="store_true", help="nCUBE-2 resolution order")
+    p_tree.add_argument("--simulate", action="store_true", help="also run the timed simulator")
+    p_tree.add_argument("--timeline", action="store_true", help="draw channel-occupancy timeline")
+    p_tree.add_argument("--size", type=int, default=4096, help="message bytes for --simulate")
+    p_tree.set_defaults(func=_cmd_tree)
+
+    p_exp = sub.add_parser("experiment", help="reproduce a figure")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--full", action="store_true", help="paper-parity parameters")
+    p_exp.add_argument("--precision", type=int, default=2)
+    p_exp.add_argument("--plot", action="store_true", help="also draw an ASCII plot")
+    p_exp.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_rep = sub.add_parser("report", help="paper-vs-measured markdown report")
+    p_rep.add_argument("--full", action="store_true", help="paper-parity parameters")
+    p_rep.add_argument("--figures", default=None, help="comma-separated subset, e.g. fig9,fig11")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_col = sub.add_parser("collective", help="time a collective operation")
+    p_col.add_argument(
+        "op",
+        choices=[
+            "broadcast",
+            "multicast",
+            "scatter",
+            "gather",
+            "allgather",
+            "reduce",
+            "allreduce",
+            "barrier",
+        ],
+    )
+    p_col.add_argument("-n", type=int, required=True)
+    p_col.add_argument("--root", type=int, default=0)
+    p_col.add_argument("-d", "--destinations", default=None)
+    p_col.add_argument("--size", type=int, default=4096)
+    p_col.add_argument("-a", "--algorithm", default="wsort", choices=sorted(ALGORITHMS))
+    p_col.add_argument("-p", "--ports", default="all")
+    p_col.set_defaults(func=_cmd_collective)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

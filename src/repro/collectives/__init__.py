@@ -1,0 +1,55 @@
+"""Collective communication operations built on the multicast substrate.
+
+The paper motivates multicast as one member of the family of collective
+operations (Section 1: multicast, reduction, barrier synchronization,
+MPI).  This subpackage provides that family as a small library over the
+wormhole simulator, with the paper's multicast algorithms as the
+one-to-many primitive:
+
+- :func:`~repro.collectives.api.HypercubeCollectives.multicast` /
+  ``broadcast`` -- via any registered multicast algorithm;
+- ``scatter`` / ``gather`` -- personalized distribution over the
+  spanning binomial tree (Johnsson & Ho style recursive halving);
+- ``allgather`` / ``allreduce`` / ``barrier`` -- recursive-doubling
+  dimension exchanges;
+- ``reduce`` -- binomial-tree combining.
+
+All operations compile to a :class:`~repro.collectives.graph.CommGraph`
+(a dependency DAG of sized unicasts) executed by the same wormhole
+network model used for the paper's experiments.
+"""
+
+from repro.collectives.allgather import allgather_graph
+from repro.collectives.alltoall import alltoall_direct_graph, alltoall_graph
+from repro.collectives.api import HypercubeCollectives
+from repro.collectives.broadcast import sbt_broadcast_graph
+from repro.collectives.combine_tree import combining_graph, gather_subset, reduce_subset
+from repro.collectives.esbt import esbt_broadcast_graph, esbt_trees
+from repro.collectives.pipelined import optimal_segments, pipelined_multicast_graph
+from repro.collectives.graph import CommGraph, CommResult, CommSend, simulate_comm
+from repro.collectives.reduction import allreduce_graph, barrier_graph, reduce_graph
+from repro.collectives.scatter import gather_graph, scatter_graph
+
+__all__ = [
+    "CommGraph",
+    "CommResult",
+    "CommSend",
+    "HypercubeCollectives",
+    "allgather_graph",
+    "allreduce_graph",
+    "alltoall_direct_graph",
+    "alltoall_graph",
+    "barrier_graph",
+    "combining_graph",
+    "esbt_broadcast_graph",
+    "esbt_trees",
+    "gather_graph",
+    "gather_subset",
+    "optimal_segments",
+    "pipelined_multicast_graph",
+    "reduce_graph",
+    "reduce_subset",
+    "sbt_broadcast_graph",
+    "scatter_graph",
+    "simulate_comm",
+]

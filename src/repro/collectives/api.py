@@ -1,0 +1,258 @@
+"""User-facing facade: a communicator-style API over the simulator.
+
+Modeled loosely on MPI communicators: construct one
+:class:`HypercubeCollectives` for a machine configuration (cube size,
+port model, timing constants, multicast algorithm) and invoke
+collective operations on it.  Every call runs a fresh discrete-event
+simulation and returns the timed result.
+
+Example::
+
+    from repro.collectives import HypercubeCollectives
+
+    comm = HypercubeCollectives(n=6, algorithm="wsort")
+    r = comm.multicast(source=0, destinations=[1, 5, 9, 63], size=4096)
+    print(r.avg_delay, r.max_delay)
+    print(comm.barrier().completion_time)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.paths import ResolutionOrder
+from repro.core.subcube import Subcube
+from repro.collectives.allgather import allgather_graph
+from repro.collectives.alltoall import alltoall_direct_graph, alltoall_graph
+from repro.collectives.graph import CommGraph, CommResult, simulate_comm
+from repro.collectives.reduction import allreduce_graph, barrier_graph, reduce_graph
+from repro.collectives.scatter import gather_graph, scatter_graph
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.multicast.registry import get_algorithm
+from repro.simulator.params import NCUBE2, Timings
+from repro.simulator.run import MulticastResult, simulate_multicast
+
+__all__ = ["HypercubeCollectives", "SubcubeCommunicator"]
+
+
+class HypercubeCollectives:
+    """Collective operations on a simulated wormhole hypercube.
+
+    Args:
+        n: hypercube dimension (``2**n`` nodes).
+        timings: wormhole cost model (defaults to nCUBE-2-like).
+        ports: port model for every node (defaults to all-port).
+        algorithm: registry name of the multicast algorithm used by
+            ``multicast`` and ``broadcast`` (default ``"wsort"``).
+        order: E-cube resolution order.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        timings: Timings = NCUBE2,
+        ports: PortModel = ALL_PORT,
+        algorithm: str = "wsort",
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"hypercube dimension must be >= 1, got {n}")
+        self.n = n
+        self.timings = timings
+        self.ports = ports
+        self.order = order
+        self.algorithm = get_algorithm(algorithm)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return 1 << self.n
+
+    # -- one-to-many ----------------------------------------------------
+
+    def multicast(
+        self, source: int, destinations: Sequence[int], size: int = 4096
+    ) -> MulticastResult:
+        """Deliver ``size`` bytes from ``source`` to ``destinations``."""
+        tree = self.algorithm.build_tree(self.n, source, destinations, self.order)
+        return simulate_multicast(tree, size, self.timings, self.ports)
+
+    def broadcast(self, root: int = 0, size: int = 4096) -> MulticastResult:
+        """Multicast to every other node."""
+        dests = [u for u in range(self.size) if u != root]
+        return self.multicast(root, dests, size)
+
+    def broadcast_esbt(self, root: int = 0, size: int = 4096) -> CommResult:
+        """Johnsson-Ho nESBT broadcast: the message split over ``n``
+        edge-disjoint spanning binomial trees, all ports concurrent
+        (optimal for bandwidth-dominated messages on all-port nodes)."""
+        from repro.collectives.esbt import esbt_broadcast_graph
+
+        g = esbt_broadcast_graph(self.n, root, size, self.order)
+        return simulate_comm(g, self.timings, self.ports)
+
+    def multicast_pipelined(
+        self,
+        source: int,
+        destinations: Sequence[int],
+        size: int = 4096,
+        segments: int | None = None,
+    ) -> CommResult:
+        """Multicast with the message segmented down the tree.
+
+        ``segments=None`` picks the closed-form near-optimal count for
+        the tree's depth and this machine's timing constants.
+        """
+        from repro.collectives.pipelined import optimal_segments, pipelined_multicast_graph
+
+        tree = self.algorithm.build_tree(self.n, source, destinations, self.order)
+        if segments is None:
+            segments = optimal_segments(size, max(1, tree.depth()), self.timings)
+        g = pipelined_multicast_graph(tree, size, segments)
+        return simulate_comm(g, self.timings, self.ports)
+
+    def scatter(self, root: int = 0, block_size: int = 1024) -> CommResult:
+        """Personalized distribution: block ``u`` ends at node ``u``."""
+        g = scatter_graph(self.n, root, block_size, self.order)
+        return simulate_comm(g, self.timings, self.ports)
+
+    # -- many-to-one / many-to-many --------------------------------------
+
+    def gather(self, root: int = 0, block_size: int = 1024) -> CommResult:
+        """Collect one block per node at ``root``."""
+        g = gather_graph(self.n, root, block_size, self.order)
+        return simulate_comm(g, self.timings, self.ports)
+
+    def allgather(self, block_size: int = 1024) -> CommResult:
+        """Every node ends with every node's block."""
+        g = allgather_graph(self.n, block_size, self.order)
+        return simulate_comm(g, self.timings, self.ports)
+
+    def reduce(self, root: int = 0, size: int = 4096) -> CommResult:
+        """Element-wise combine one vector per node into ``root``."""
+        g = reduce_graph(self.n, root, size, self.order)
+        return simulate_comm(g, self.timings, self.ports)
+
+    def allreduce(self, size: int = 4096) -> CommResult:
+        """Combine and distribute the result to every node."""
+        g = allreduce_graph(self.n, size, self.order)
+        return simulate_comm(g, self.timings, self.ports)
+
+    def subcube(self, sub: "Subcube") -> "SubcubeCommunicator":
+        """A communicator restricted to one subcube of this machine.
+
+        Collective operations on the returned communicator involve only
+        the subcube's nodes and (by Theorem 2) only channels internal to
+        the subcube, so communicators on disjoint subcubes never
+        interfere -- which the test suite verifies on merged runs.
+        """
+        return SubcubeCommunicator(self, sub)
+
+    def alltoall(self, block_size: int = 1024, direct: bool = False) -> CommResult:
+        """Complete exchange: every node sends a distinct block to every
+        other node.  ``direct=True`` uses N-1 XOR-scheduled unicast
+        rounds instead of the n dimension-exchange rounds."""
+        g = (
+            alltoall_direct_graph(self.n, block_size, self.order)
+            if direct
+            else alltoall_graph(self.n, block_size, self.order)
+        )
+        return simulate_comm(g, self.timings, self.ports)
+
+    def barrier(self) -> CommResult:
+        """Synchronize all nodes."""
+        return simulate_comm(barrier_graph(self.n, self.order), self.timings, self.ports)
+
+
+class SubcubeCommunicator:
+    """Collectives confined to one subcube of a larger machine.
+
+    Operations are built at the subcube's dimensionality and embedded
+    by address translation (``rank -> (mask << dim) | rank``); they run
+    on the *full* machine's network model, but E-cube routing keeps all
+    of their traffic inside the subcube (Theorem 2).
+
+    Graph-building methods (``scatter_graph`` etc.) are exposed so
+    that operations on several communicators can be merged with
+    :meth:`CommGraph.merge` and simulated concurrently.
+    """
+
+    def __init__(self, parent: HypercubeCollectives, sub: "Subcube") -> None:
+        if sub.n != parent.n:
+            raise ValueError(
+                f"subcube belongs to a {sub.n}-cube, communicator is a {parent.n}-cube"
+            )
+        if sub.dim < 1:
+            raise ValueError("a 0-dimensional subcube has no collectives")
+        self.parent = parent
+        self.sub = sub
+
+    @property
+    def size(self) -> int:
+        return self.sub.size
+
+    def translate(self, rank: int) -> int:
+        """Map a subcube-local rank to its machine address."""
+        if not 0 <= rank < self.sub.size:
+            raise ValueError(f"rank {rank} out of range for {self.sub}")
+        return (self.sub.mask << self.sub.dim) | rank
+
+    def _embed(self, graph: CommGraph) -> CommGraph:
+        return graph.relabel(self.translate, n=self.parent.n)
+
+    # -- graph builders (merge-able) -------------------------------------
+
+    def scatter_graph(self, root_rank: int = 0, block_size: int = 1024) -> CommGraph:
+        return self._embed(
+            scatter_graph(self.sub.dim, root_rank, block_size, self.parent.order)
+        )
+
+    def gather_graph(self, root_rank: int = 0, block_size: int = 1024) -> CommGraph:
+        return self._embed(
+            gather_graph(self.sub.dim, root_rank, block_size, self.parent.order)
+        )
+
+    def allgather_graph(self, block_size: int = 1024) -> CommGraph:
+        return self._embed(allgather_graph(self.sub.dim, block_size, self.parent.order))
+
+    def allreduce_graph(self, size: int = 4096) -> CommGraph:
+        return self._embed(allreduce_graph(self.sub.dim, size, self.parent.order))
+
+    def barrier_graph(self) -> CommGraph:
+        return self._embed(barrier_graph(self.sub.dim, self.parent.order))
+
+    # -- direct execution -------------------------------------------------
+
+    def scatter(self, root_rank: int = 0, block_size: int = 1024) -> CommResult:
+        return simulate_comm(
+            self.scatter_graph(root_rank, block_size), self.parent.timings, self.parent.ports
+        )
+
+    def gather(self, root_rank: int = 0, block_size: int = 1024) -> CommResult:
+        return simulate_comm(
+            self.gather_graph(root_rank, block_size), self.parent.timings, self.parent.ports
+        )
+
+    def allgather(self, block_size: int = 1024) -> CommResult:
+        return simulate_comm(
+            self.allgather_graph(block_size), self.parent.timings, self.parent.ports
+        )
+
+    def allreduce(self, size: int = 4096) -> CommResult:
+        return simulate_comm(
+            self.allreduce_graph(size), self.parent.timings, self.parent.ports
+        )
+
+    def barrier(self) -> CommResult:
+        return simulate_comm(self.barrier_graph(), self.parent.timings, self.parent.ports)
+
+    def multicast(
+        self, source_rank: int, destination_ranks: Sequence[int], size: int = 4096
+    ) -> MulticastResult:
+        tree = self.parent.algorithm.build_tree(
+            self.parent.n,
+            self.translate(source_rank),
+            [self.translate(r) for r in destination_ranks],
+            self.parent.order,
+        )
+        return simulate_multicast(tree, size, self.parent.timings, self.parent.ports)

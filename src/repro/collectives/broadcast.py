@@ -1,0 +1,50 @@
+"""Broadcast: the spanning-binomial-tree reference schedule.
+
+Broadcast is the ``m = N - 1`` special case of multicast, and the
+facade implements it that way (any registered multicast algorithm).
+This module provides the classic *spanning binomial tree* (SBT)
+broadcast as an independent :class:`~repro.collectives.graph.CommGraph`
+reference: in round ``d`` (descending) every informed node forwards
+across dimension ``d``.  On a full broadcast U-cube builds exactly the
+binomial tree, so the two formulations must agree -- a cross-check the
+test suite performs.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import require_address
+from repro.core.paths import ResolutionOrder
+from repro.collectives.graph import CommGraph
+
+__all__ = ["sbt_broadcast_graph"]
+
+
+def sbt_broadcast_graph(
+    n: int,
+    root: int,
+    size: int,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> CommGraph:
+    """Spanning-binomial-tree broadcast of ``size`` bytes from ``root``.
+
+    Round ``d`` = dimensions descending: each node that already holds
+    the message sends it across dimension ``d``.  All sends of a round
+    are single-hop and pairwise channel-disjoint, so the schedule is
+    contention-free by construction.
+    """
+    require_address(root, n, "root")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    g = CommGraph(n, order)
+    g.seed(root, [0])
+    informed: dict[int, int | None] = {root: None}  # node -> sid that delivered
+    for d in range(n - 1, -1, -1):
+        bit = 1 << d
+        for u, dep in list(informed.items()):
+            v = u ^ bit
+            if v in informed:
+                continue
+            sid = g.add(u, v, size=size, deps=() if dep is None else (dep,), blocks=[0])
+            informed[v] = sid
+    g.validate()
+    return g

@@ -1,0 +1,102 @@
+"""Optimal all-port broadcast via edge-disjoint spanning binomial trees.
+
+Johnsson & Ho's *nESBT* broadcast -- reference [5] of the paper, and the
+canonical demonstration of what all-port architectures buy: the root
+splits an ``L``-byte message into ``n`` parts and pumps each part down
+its own spanning binomial tree.  Because the ``n`` trees are pairwise
+**arc-disjoint**, all ``n`` ports work concurrently with zero channel
+contention, and for bandwidth-dominated messages broadcast time drops
+by nearly a factor of ``n`` versus a single binomial tree.
+
+Construction used here (verified arc-disjoint by the test suite up to
+``n = 8``): tree ``i`` is the spanning binomial tree rooted at 0 with
+its dimensions rotated left by ``i``, then translated by ``2**i`` (so it
+is rooted at the root's dimension-``i`` neighbor), prefixed by the root
+edge ``(root, root ^ 2**i)``.  Arbitrary roots follow by XOR
+translation, which permutes channels bijectively and preserves
+disjointness.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import require_address
+from repro.core.paths import ResolutionOrder
+from repro.collectives.graph import CommGraph
+
+__all__ = ["esbt_broadcast_graph", "esbt_trees"]
+
+
+def _rotl(v: int, i: int, n: int) -> int:
+    i %= n
+    if i == 0:
+        return v
+    mask = (1 << n) - 1
+    return ((v << i) | (v >> (n - i))) & mask
+
+
+def esbt_trees(n: int) -> list[dict[int, int]]:
+    """The ``n`` arc-disjoint spanning trees, as child -> parent maps.
+
+    Tree ``i`` spans every non-root node; its root-side entry maps
+    ``2**i`` to 0.  Node 0 (the broadcast root before translation)
+    appears in no tree as a child.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    trees: list[dict[int, int]] = []
+    for i in range(n):
+        parent: dict[int, int] = {}
+        t = 1 << i
+        for v in range(1, 1 << n):
+            # SBT parent (clear lowest set bit), rotated by i, translated by 2^i
+            p = v ^ (v & -v)
+            child = _rotl(v, i, n) ^ t
+            par = _rotl(p, i, n) ^ t
+            if child == 0:
+                continue  # the broadcast root needs no copy
+            parent[child] = par
+        parent[t] = 0
+        trees.append(parent)
+    return trees
+
+
+def esbt_broadcast_graph(
+    n: int,
+    root: int,
+    size: int,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> CommGraph:
+    """Broadcast ``size`` bytes from ``root`` over the ``n`` ESBTs.
+
+    The message is split into ``n`` parts (block ids 0..n-1) of
+    ``ceil(size / n)`` bytes; part ``i`` travels tree ``i``.  Every
+    non-root node receives all ``n`` parts; channel contention is zero
+    by arc-disjointness.
+    """
+    require_address(root, n, "root")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    part = max(1, (size + n - 1) // n)
+    g = CommGraph(n, order)
+    g.seed(root, range(n))
+
+    for i, parent in enumerate(esbt_trees(n)):
+        # children lists in the translated tree
+        children: dict[int, list[int]] = {}
+        for c, p in parent.items():
+            children.setdefault(p, []).append(c)
+
+        def emit(u: int, dep: int | None) -> None:
+            for c in sorted(children.get(u, ())):
+                sid = g.add(
+                    u ^ root,
+                    c ^ root,
+                    size=part,
+                    deps=() if dep is None else (dep,),
+                    blocks=[i],
+                )
+                emit(c, sid)
+
+        emit(0, None)
+    g.validate()
+    return g

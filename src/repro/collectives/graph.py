@@ -1,0 +1,255 @@
+"""Dependency graphs of sized unicasts, and their timed execution.
+
+A :class:`CommGraph` generalizes a multicast tree: every send has its
+own message size, may depend on *several* prior receptions (a reduce
+node combines all children before forwarding), and may carry a set of
+abstract data *blocks* whose final placement the tests verify.
+
+Execution semantics mirror :func:`repro.simulator.run.simulate_multicast`:
+a node's CPU issues a send ``t_setup`` after all of the send's
+dependencies have been received (and any earlier sends' setups have
+finished); injection waits for a free port; ports are held until
+delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable, Sequence
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.node import HostNode
+from repro.simulator.params import NCUBE2, Timings
+
+__all__ = ["CommGraph", "CommResult", "CommSend", "simulate_comm"]
+
+
+@dataclass(frozen=True, slots=True)
+class CommSend:
+    """One sized unicast of a collective operation.
+
+    Attributes:
+        sid: unique id within the graph.
+        src/dst: endpoints.
+        size: bytes on the wire.
+        deps: ids of sends that must have been *received by* ``src``
+            before this send can be issued (empty: ready at t=0).
+        blocks: abstract data blocks carried (for placement checks).
+    """
+
+    sid: int
+    src: int
+    dst: int
+    size: int
+    deps: tuple[int, ...] = ()
+    blocks: frozenset[int] = frozenset()
+
+
+class CommGraph:
+    """A dependency DAG of unicasts implementing one collective."""
+
+    def __init__(self, n: int, order: ResolutionOrder = ResolutionOrder.DESCENDING) -> None:
+        self.n = n
+        self.order = order
+        self.sends: list[CommSend] = []
+        #: blocks every node holds before the operation starts
+        self.initial_blocks: dict[int, frozenset[int]] = {}
+
+    def add(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        deps: Iterable[int] = (),
+        blocks: Iterable[int] = (),
+    ) -> int:
+        """Append a send; returns its id for use in later ``deps``."""
+        deps = tuple(deps)
+        for d in deps:
+            if not 0 <= d < len(self.sends):
+                raise ValueError(f"dependency {d} does not exist yet")
+            if self.sends[d].dst != src:
+                raise ValueError(
+                    f"send from {src} cannot depend on send {d}, which "
+                    f"delivers to {self.sends[d].dst}"
+                )
+        sid = len(self.sends)
+        self.sends.append(CommSend(sid, src, dst, size, deps, frozenset(blocks)))
+        return sid
+
+    def seed(self, node: int, blocks: Iterable[int]) -> None:
+        """Declare the blocks ``node`` holds before the operation."""
+        self.initial_blocks[node] = self.initial_blocks.get(node, frozenset()) | frozenset(blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.size for s in self.sends)
+
+    def relabel(self, fn, n: int | None = None) -> "CommGraph":
+        """A copy of the graph with every node address mapped by ``fn``.
+
+        Used to run a ``k``-dimensional collective inside a subcube of a
+        larger machine (``fn`` embeds the small addresses).  Dependencies
+        and block ids are preserved.
+        """
+        out = CommGraph(self.n if n is None else n, self.order)
+        for node, blocks in self.initial_blocks.items():
+            out.seed(fn(node), blocks)
+        for s in self.sends:
+            out.add(fn(s.src), fn(s.dst), s.size, deps=s.deps, blocks=s.blocks)
+        return out
+
+    @staticmethod
+    def merge(graphs: "list[CommGraph]") -> "CommGraph":
+        """Combine independent graphs into one (e.g. collectives running
+        concurrently in disjoint subcubes).
+
+        Send ids are re-based; block ids are namespaced by graph index
+        (``block | index << 32``) so concurrent operations cannot be
+        confused with each other.
+        """
+        if not graphs:
+            raise ValueError("merge requires at least one graph")
+        n = graphs[0].n
+        order = graphs[0].order
+        if any(g.n != n or g.order is not order for g in graphs):
+            raise ValueError("merged graphs must share dimension and order")
+        out = CommGraph(n, order)
+        for gi, g in enumerate(graphs):
+            base = len(out.sends)
+            tag = gi << 32
+            for node, blocks in g.initial_blocks.items():
+                out.seed(node, [b | tag for b in blocks])
+            for s in g.sends:
+                out.add(
+                    s.src,
+                    s.dst,
+                    s.size,
+                    deps=tuple(d + base for d in s.deps),
+                    blocks=[b | tag for b in s.blocks],
+                )
+        return out
+
+    def validate(self) -> None:
+        """Check block causality: every send only carries blocks its
+        source initially held or obtained through its declared
+        dependencies.  (Acyclicity is guaranteed by ``add``: a send can
+        only depend on already-created sends, so ids are topological.)"""
+        have: dict[int, set[int]] = {u: set(b) for u, b in self.initial_blocks.items()}
+        for s in self.sends:
+            avail = have.setdefault(s.src, set())
+            for d in s.deps:
+                avail |= set(self.sends[d].blocks)
+            if not set(s.blocks) <= avail:
+                raise ValueError(f"send {s.sid} carries blocks its source never held")
+
+
+@dataclass(slots=True)
+class CommResult:
+    """Outcome of one simulated collective."""
+
+    graph: CommGraph
+    timings: Timings
+    ports: PortModel
+    send_received_at: dict[int, float]  # send id -> CPU receive time at dst
+    node_done_at: dict[int, float]  # node -> last CPU receive time
+    final_blocks: dict[int, frozenset[int]]
+    total_blocked_time: float
+    events: int
+
+    @property
+    def completion_time(self) -> float:
+        """Time at which the whole operation has finished."""
+        return max(self.node_done_at.values(), default=0.0)
+
+    @property
+    def avg_node_time(self) -> float:
+        return mean(self.node_done_at.values()) if self.node_done_at else 0.0
+
+
+def simulate_comm(
+    graph: CommGraph,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+    trace: bool = False,
+    max_events: int | None = 10_000_000,
+) -> CommResult:
+    """Execute a :class:`CommGraph` on the wormhole network model."""
+    sim = Simulator()
+    limit = ports.limit(graph.n)
+
+    nodes: dict[int, HostNode] = {}
+    received_at: dict[int, float] = {}
+    node_done: dict[int, float] = {}
+    blocks: dict[int, set[int]] = {u: set(b) for u, b in graph.initial_blocks.items()}
+
+    # per send: number of unsatisfied dependencies
+    waiting = [len(s.deps) for s in graph.sends]
+    dependents: dict[int, list[int]] = {}
+    for s in graph.sends:
+        for d in s.deps:
+            dependents.setdefault(d, []).append(s.sid)
+
+    def on_receive(host: HostNode, worm: Worm) -> None:
+        sid = worm.payload
+        received_at[sid] = sim.now
+        node_done[host.address] = sim.now
+        send = graph.sends[sid]
+        blocks.setdefault(send.dst, set()).update(send.blocks)
+        ready = []
+        for dep_sid in dependents.get(sid, ()):
+            waiting[dep_sid] -= 1
+            if waiting[dep_sid] == 0:
+                ready.append(dep_sid)
+        if ready:
+            _submit(ready, sim.now)
+
+    def get_node(address: int) -> HostNode:
+        node = nodes.get(address)
+        if node is None:
+            node = nodes[address] = HostNode(network, address, limit, on_receive)
+        return node
+
+    def on_delivered(worm: Worm) -> None:
+        get_node(worm.src).release_port()
+        get_node(worm.dst).deliver(worm)
+
+    network = WormholeNetwork(
+        sim, graph.n, timings=timings, order=graph.order, trace=trace, on_delivered=on_delivered
+    )
+
+    def _submit(sids: Sequence[int], when: float) -> None:
+        by_src: dict[int, list[int]] = {}
+        for sid in sids:
+            by_src.setdefault(graph.sends[sid].src, []).append(sid)
+        for src, group in by_src.items():
+            get_node(src).submit_sends(
+                [(graph.sends[sid].dst, graph.sends[sid].size, sid) for sid in group],
+                when,
+            )
+
+    _submit([s.sid for s in graph.sends if not s.deps], 0.0)
+    sim.run(max_events=max_events)
+    network.assert_quiescent()
+
+    undelivered = [s.sid for s in graph.sends if s.sid not in received_at]
+    if undelivered:
+        raise AssertionError(
+            f"collective deadlocked: sends never delivered: {undelivered[:10]}"
+        )
+
+    return CommResult(
+        graph=graph,
+        timings=timings,
+        ports=ports,
+        send_received_at=received_at,
+        node_done_at=node_done,
+        final_blocks={u: frozenset(b) for u, b in blocks.items()},
+        total_blocked_time=network.total_blocked_time,
+        events=sim.events_processed,
+    )

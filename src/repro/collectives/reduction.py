@@ -1,0 +1,73 @@
+"""Reduce, all-reduce, and barrier over dimension exchanges.
+
+*Reduce* combines one fixed-size vector per node into the root using
+the binomial tree (the mirror image of broadcast): in round ``d``
+(dimensions ascending) half of the remaining nodes send their partial
+result across dimension ``d`` and drop out.  Message size is constant
+(element-wise combining does not grow the payload).
+
+*All-reduce* uses recursive doubling: every node exchanges partials
+with its dimension-``d`` neighbor each round; after ``n`` rounds all
+nodes hold the full result.
+
+*Barrier* is an all-reduce of an empty (1-byte) payload -- the
+dissemination structure is what synchronizes.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import require_address
+from repro.core.paths import ResolutionOrder
+from repro.collectives.graph import CommGraph
+
+__all__ = ["allreduce_graph", "barrier_graph", "reduce_graph"]
+
+
+def reduce_graph(
+    n: int,
+    root: int,
+    size: int,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> CommGraph:
+    """Binomial-tree reduction of a ``size``-byte vector to ``root``."""
+    require_address(root, n, "root")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    g = CommGraph(n, order)
+    pending: dict[int, list[int]] = {u: [] for u in range(1 << n)}
+
+    for d in range(n):
+        bit = 1 << d
+        for u in range(1 << n):
+            rel = u ^ root
+            if (rel & (bit - 1)) == 0 and (rel & bit):
+                dst = u ^ bit
+                sid = g.add(u, dst, size=size, deps=tuple(pending[u]))
+                pending[dst] = pending[dst] + [sid]
+    return g
+
+
+def allreduce_graph(
+    n: int,
+    size: int,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> CommGraph:
+    """Recursive-doubling all-reduce of a ``size``-byte vector."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    g = CommGraph(n, order)
+    pending: dict[int, list[int]] = {u: [] for u in range(1 << n)}
+
+    for d in range(n):
+        bit = 1 << d
+        sids: dict[int, int] = {}
+        for u in range(1 << n):
+            sids[u] = g.add(u, u ^ bit, size=size, deps=tuple(pending[u]))
+        for u in range(1 << n):
+            pending[u] = pending[u] + [sids[u ^ bit]]
+    return g
+
+
+def barrier_graph(n: int, order: ResolutionOrder = ResolutionOrder.DESCENDING) -> CommGraph:
+    """Barrier synchronization: an all-reduce of a token payload."""
+    return allreduce_graph(n, size=1, order=order)

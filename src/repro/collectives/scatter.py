@@ -1,0 +1,105 @@
+"""Scatter and gather: personalized distribution over the binomial tree.
+
+*Scatter* (MPI_Scatter): the root holds one distinct block per node and
+must deliver block ``u`` to node ``u``.  The classic hypercube
+algorithm (Johnsson & Ho [5] of the paper) is recursive halving on the
+spanning binomial tree: in round ``d`` (dimensions descending) every
+node currently holding blocks for a ``(d+1)``-dimensional subcube sends
+the half destined for the opposite ``d``-subcube across dimension ``d``
+-- halving the payload each round, so the total bytes on the wire are
+``(N - 1) * block`` and the critical path is
+``sum_d (2^d * block * t_byte)`` plus per-round overheads.
+
+*Gather* is the time-reversal: leaves send their block up the same
+tree, with payloads doubling toward the root.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import require_address
+from repro.core.paths import ResolutionOrder
+from repro.collectives.graph import CommGraph
+
+__all__ = ["gather_graph", "scatter_graph"]
+
+
+def scatter_graph(
+    n: int,
+    root: int,
+    block_size: int,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> CommGraph:
+    """Build the recursive-halving scatter from ``root``.
+
+    Block ids are node addresses: node ``u`` must end up holding block
+    ``u``.  Works for any root by XOR-relabeling (the tree is the
+    binomial tree rooted at ``root``).
+    """
+    require_address(root, n, "root")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    g = CommGraph(n, order)
+    g.seed(root, range(1 << n))
+
+    def rec(holder: int, dim: int, dep: int | None) -> None:
+        # holder owns the blocks of the relative subcube spanned by the
+        # low `dim` dimensions around it; peel off halves high-to-low.
+        for d in range(dim - 1, -1, -1):
+            mirror = holder ^ (1 << d)
+            # blocks destined for the mirror's d-dimensional subcube
+            sub = [u for u in range(1 << n) if (u ^ mirror) >> d == 0]
+            sid = g.add(
+                holder,
+                mirror,
+                size=block_size * len(sub),
+                deps=() if dep is None else (dep,),
+                blocks=sub,
+            )
+            rec(mirror, d, sid)
+
+    rec(root, n, None)
+    g.validate()
+    return g
+
+
+def gather_graph(
+    n: int,
+    root: int,
+    block_size: int,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> CommGraph:
+    """Build the binomial-tree gather to ``root`` (scatter reversed).
+
+    Every node starts holding its own block; in round ``d`` (dimensions
+    ascending) the nodes whose low ``d`` bits match the root's forward
+    their accumulated blocks across dimension ``d`` toward the root.
+    """
+    require_address(root, n, "root")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    g = CommGraph(n, order)
+    for u in range(1 << n):
+        g.seed(u, [u])
+
+    # last send id delivering into each node (the dependency chain)
+    pending: dict[int, list[int]] = {u: [] for u in range(1 << n)}
+    held: dict[int, list[int]] = {u: [u] for u in range(1 << n)}
+
+    for d in range(n):
+        bit = 1 << d
+        for u in range(1 << n):
+            rel = u ^ root
+            # senders this round: low d bits equal root's, bit d differs
+            if (rel & (bit - 1)) == 0 and (rel & bit):
+                dst = u ^ bit
+                sid = g.add(
+                    u,
+                    dst,
+                    size=block_size * len(held[u]),
+                    deps=tuple(pending[u]),
+                    blocks=held[u],
+                )
+                held[dst] = held[dst] + held[u]
+                pending[dst] = pending[dst] + [sid]
+    g.validate()
+    return g

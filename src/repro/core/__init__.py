@@ -1,0 +1,73 @@
+"""Core theory of E-cube-routed hypercubes (Section 3 of the paper).
+
+This subpackage contains the mathematical substrate that the multicast
+algorithms and their contention-freedom guarantees are built on:
+
+- :mod:`repro.core.addressing` -- binary node addresses, ``delta`` (Def. 1),
+  bit utilities.
+- :mod:`repro.core.subcube` -- subcubes with fixed high-order bits (Def. 2).
+- :mod:`repro.core.paths` -- dimension-ordered (E-cube) paths ``P(u, v)``,
+  arcs, and the arc-disjointness theorems (Thms. 1-2).
+- :mod:`repro.core.chains` -- dimension order ``<_d``, dimension-ordered
+  chains, relative chains, and cube-ordered chains (Def. 5, Thm. 4).
+- :mod:`repro.core.contention` -- unicast schedules, reachable sets
+  (Def. 3), and the contention-freedom verifier (Def. 4, Thm. 3).
+"""
+
+from repro.core.addressing import (
+    bit,
+    delta,
+    first_dim,
+    hamming,
+    neighbor,
+    popcount,
+    reverse_bits,
+)
+from repro.core.chains import (
+    dimension_compare,
+    dimension_sorted,
+    is_cube_ordered_chain,
+    is_dimension_ordered_chain,
+    relative_chain,
+)
+from repro.core.contention import (
+    ContentionReport,
+    Unicast,
+    check_contention_free,
+    reachable_sets,
+)
+from repro.core.paths import (
+    ResolutionOrder,
+    arcs_disjoint,
+    ecube_arcs,
+    ecube_path,
+    theorem1_guarantees_disjoint,
+    theorem2_guarantees_disjoint,
+)
+from repro.core.subcube import Subcube
+
+__all__ = [
+    "ContentionReport",
+    "ResolutionOrder",
+    "Subcube",
+    "Unicast",
+    "arcs_disjoint",
+    "bit",
+    "check_contention_free",
+    "delta",
+    "dimension_compare",
+    "dimension_sorted",
+    "ecube_arcs",
+    "ecube_path",
+    "first_dim",
+    "hamming",
+    "is_cube_ordered_chain",
+    "is_dimension_ordered_chain",
+    "neighbor",
+    "popcount",
+    "reachable_sets",
+    "relative_chain",
+    "reverse_bits",
+    "theorem1_guarantees_disjoint",
+    "theorem2_guarantees_disjoint",
+]

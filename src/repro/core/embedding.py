@@ -1,0 +1,86 @@
+"""Topology embeddings into the hypercube (Gray codes).
+
+Data-parallel programs (the HPF motivation of Section 1) address
+processors as rings and meshes; on a hypercube those logical topologies
+are embedded via (multi-dimensional) reflected Gray codes so that
+logically adjacent processors are physically adjacent -- which is what
+makes nearest-neighbor exchanges single-hop and contention-free.
+
+Provided here:
+
+- :func:`gray_code` / :func:`gray_rank` -- the reflected Gray sequence
+  and its inverse;
+- :func:`ring_embedding` -- a Hamiltonian cycle of the ``n``-cube;
+- :func:`mesh_embedding` -- a ``2^a x 2^b`` mesh with unit-distance
+  rows and columns;
+- :func:`ring_neighbors` / shift helpers used by the examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import hamming
+
+__all__ = [
+    "gray_code",
+    "gray_rank",
+    "mesh_embedding",
+    "ring_embedding",
+    "ring_neighbors",
+]
+
+
+def gray_code(i: int) -> int:
+    """The ``i``-th reflected binary Gray code: ``i ^ (i >> 1)``."""
+    if i < 0:
+        raise ValueError(f"index must be non-negative, got {i}")
+    return i ^ (i >> 1)
+
+
+def gray_rank(g: int) -> int:
+    """Inverse of :func:`gray_code`: the index of code ``g``."""
+    if g < 0:
+        raise ValueError(f"code must be non-negative, got {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+def ring_embedding(n: int) -> list[int]:
+    """A Hamiltonian cycle of the ``n``-cube: node addresses in ring
+    order.  Consecutive entries (cyclically) are hypercube neighbors."""
+    if n < 1:
+        raise ValueError(f"ring embedding needs n >= 1, got {n}")
+    return [gray_code(i) for i in range(1 << n)]
+
+
+def ring_neighbors(node: int, n: int) -> tuple[int, int]:
+    """The ring predecessor and successor of ``node`` in the embedding."""
+    size = 1 << n
+    i = gray_rank(node)
+    if i >= size:
+        raise ValueError(f"node {node} not in the {n}-cube")
+    return gray_code((i - 1) % size), gray_code((i + 1) % size)
+
+
+def mesh_embedding(rows_dim: int, cols_dim: int) -> list[list[int]]:
+    """Embed a ``2^rows_dim x 2^cols_dim`` mesh into the
+    ``(rows_dim + cols_dim)``-cube.
+
+    Returns the node address for each (row, col); horizontally and
+    vertically adjacent mesh cells are hypercube neighbors (product of
+    two Gray sequences).
+    """
+    if rows_dim < 0 or cols_dim < 0:
+        raise ValueError("mesh dimensions must be non-negative")
+    cols = 1 << cols_dim
+    return [
+        [(gray_code(r) << cols_dim) | gray_code(c) for c in range(cols)]
+        for r in range(1 << rows_dim)
+    ]
+
+
+def is_unit_distance_path(path: list[int]) -> bool:
+    """True if consecutive path entries are hypercube neighbors."""
+    return all(hamming(a, b) == 1 for a, b in zip(path, path[1:]))

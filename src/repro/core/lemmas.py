@@ -1,0 +1,59 @@
+"""Executable statements of the paper's lemmas (Section 3.2).
+
+The lemmas are stated as runnable predicates so the property-based test
+suite can check them over the whole (small) instance space, and so that
+readers can interrogate the formal claims directly::
+
+    >>> from repro.core.lemmas import lemma1_holds, lemma2_holds
+    >>> lemma1_holds(0b0101, 0b1110)
+    True
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import delta
+from repro.core.paths import ResolutionOrder, ecube_path
+from repro.core.subcube import Subcube
+
+__all__ = ["lemma1_holds", "lemma2_holds"]
+
+
+def lemma1_holds(x: int, y: int, order: ResolutionOrder = ResolutionOrder.DESCENDING) -> bool:
+    """Lemma 1 for the path ``P(x, y)``.
+
+    For every arc of the path travelling dimension ``d``:
+
+    1. every node up to and including the arc's tail agrees with ``x``
+       on bits ``0..d``;
+    2. every node after the arc agrees with ``y`` on bits ``d+1..n-1``;
+    3. ``x`` and ``y`` differ in bit ``d``.
+
+    (Stated for descending resolution; the ascending version swaps the
+    roles of the low and high bit ranges, which this implementation
+    handles via the path itself.)
+    """
+    path = ecube_path(x, y, order)
+    for i in range(len(path) - 1):
+        d = delta(path[i], path[i + 1])
+        if (x >> d) & 1 == (y >> d) & 1:
+            return False  # condition 3
+        if order.descending:
+            low_mask = (1 << (d + 1)) - 1
+            if any((w & low_mask) != (x & low_mask) for w in path[: i + 1]):
+                return False  # condition 1
+            if any((w >> (d + 1)) != (y >> (d + 1)) for w in path[i + 1 :]):
+                return False  # condition 2
+        else:
+            if any((w >> d) != (x >> d) for w in path[: i + 1]):
+                return False
+            low_mask = (1 << (d + 1)) - 1
+            if any((w & low_mask) != (y & low_mask) for w in path[i + 1 :]):
+                return False
+    return True
+
+
+def lemma2_holds(s: Subcube) -> bool:
+    """Lemma 2 for subcube ``s``: for all ``x <= y <= z`` with
+    ``x, z in s``, also ``y in s`` (addresses are contiguous)."""
+    nodes = s.nodes()
+    return nodes == list(range(nodes[0], nodes[0] + len(nodes)))

@@ -1,0 +1,130 @@
+"""Subcubes with fixed high-order address bits (Definition 2).
+
+A subcube ``S = (n_S, M_S)`` of an ``n``-cube consists of the nodes whose
+highest-order ``n - n_S`` bits equal the mask ``M_S``; the low ``n_S``
+bits range freely.  Node addresses within a subcube are contiguous
+integers (Lemma 2), which is what makes cube-ordered *chains* (Def. 5)
+representable as sequences whose subcube members are contiguous runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.addressing import require_address
+
+__all__ = ["Subcube"]
+
+
+@dataclass(frozen=True, slots=True)
+class Subcube:
+    """A subcube ``(n_S, M_S)`` of an ``n``-cube (Definition 2).
+
+    Attributes:
+        n: dimensionality of the enclosing hypercube.
+        dim: the subcube dimensionality ``n_S`` (number of free low bits).
+        mask: the value ``M_S`` of the fixed high-order ``n - n_S`` bits.
+    """
+
+    n: int
+    dim: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dim <= self.n:
+            raise ValueError(f"subcube dim {self.dim} out of range for an {self.n}-cube")
+        if self.mask < 0 or self.mask >> (self.n - self.dim):
+            raise ValueError(
+                f"mask {self.mask} does not fit in the {self.n - self.dim} fixed high bits"
+            )
+
+    @classmethod
+    def whole_cube(cls, n: int) -> "Subcube":
+        """The improper subcube equal to the entire ``n``-cube."""
+        return cls(n, n, 0)
+
+    @classmethod
+    def containing(cls, node: int, dim: int, n: int) -> "Subcube":
+        """The unique ``dim``-dimensional subcube that contains ``node``."""
+        require_address(node, n)
+        return cls(n, dim, node >> dim)
+
+    @classmethod
+    def smallest_containing(cls, nodes, n: int) -> "Subcube":
+        """The smallest subcube (fewest free bits) containing all ``nodes``."""
+        it = iter(nodes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("smallest_containing requires at least one node") from None
+        require_address(first, n)
+        lo = hi = first
+        for u in it:
+            require_address(u, n)
+            lo = min(lo, u)
+            hi = max(hi, u)
+        dim = 0
+        while (lo >> dim) != (hi >> dim):
+            dim += 1
+        return cls(n, dim, lo >> dim)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the subcube (``2**dim``)."""
+        return 1 << self.dim
+
+    @property
+    def lo(self) -> int:
+        """Smallest node address in the subcube."""
+        return self.mask << self.dim
+
+    @property
+    def hi(self) -> int:
+        """Largest node address in the subcube."""
+        return (self.mask << self.dim) | ((1 << self.dim) - 1)
+
+    def __contains__(self, node: int) -> bool:
+        """Membership test: ``u in S`` iff ``(u >> n_S) == M_S``."""
+        return 0 <= node < (1 << self.n) and (node >> self.dim) == self.mask
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    def nodes(self) -> list[int]:
+        """All node addresses in the subcube, in ascending order."""
+        return list(self)
+
+    def halves(self) -> tuple["Subcube", "Subcube"]:
+        """Split into the two ``(dim - 1)``-dimensional halves.
+
+        Returns ``(low_half, high_half)`` where the low half has bit
+        ``dim - 1`` equal to 0.  These are the "subcube halves" that
+        ``weighted_sort`` (Fig. 7) may exchange.
+        """
+        if self.dim == 0:
+            raise ValueError("a 0-dimensional subcube has no halves")
+        return (
+            Subcube(self.n, self.dim - 1, self.mask << 1),
+            Subcube(self.n, self.dim - 1, (self.mask << 1) | 1),
+        )
+
+    def half_of(self, node: int) -> "Subcube":
+        """The ``(dim - 1)``-dimensional half of this subcube containing ``node``."""
+        if node not in self:
+            raise ValueError(f"node {node} is not in subcube {self}")
+        lo_half, hi_half = self.halves()
+        return lo_half if node in lo_half else hi_half
+
+    def contains_subcube(self, other: "Subcube") -> bool:
+        """True if every node of ``other`` is a node of this subcube."""
+        if other.n != self.n:
+            return False
+        if other.dim > self.dim:
+            return False
+        return (other.mask >> (self.dim - other.dim)) == self.mask
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        fixed = self.n - self.dim
+        prefix = format(self.mask, f"0{fixed}b") if fixed else ""
+        return f"({self.dim}, {prefix}{'*' * self.dim})"

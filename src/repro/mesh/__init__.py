@@ -1,0 +1,33 @@
+"""2D-mesh extension: XY routing and the U-mesh multicast algorithm.
+
+The paper's U-cube baseline comes from McKinley, Xu, Esfahanian & Ni
+[9], which introduces the *pair* of algorithms U-cube (hypercubes) and
+U-mesh (2D meshes) for one-port wormhole-routed machines.  This
+subpackage implements the mesh half of that substrate -- the topology
+the Intel Paragon used (Section 1 of the paper) -- reusing the same
+scheduling, contention (Definition 4 is topology-agnostic once channel
+sets are known), and wormhole simulation machinery:
+
+- :mod:`repro.mesh.topology` -- 2D mesh, coordinates, directed channels;
+- :mod:`repro.mesh.routing` -- deterministic XY (dimension-ordered)
+  routing, deadlock-free like E-cube;
+- :mod:`repro.mesh.umesh` -- the U-mesh multicast algorithm
+  (lexicographic chain, recursive halving toward both sides of the
+  source) with the one-port contention-freedom property;
+- :mod:`repro.mesh.tree` -- mesh multicast trees, step schedules, and
+  timed simulation on the shared wormhole network model.
+"""
+
+from repro.mesh.routing import xy_arcs, xy_path
+from repro.mesh.topology import Mesh2D
+from repro.mesh.tree import MeshTree, simulate_mesh_multicast
+from repro.mesh.umesh import UMesh
+
+__all__ = [
+    "Mesh2D",
+    "MeshTree",
+    "UMesh",
+    "simulate_mesh_multicast",
+    "xy_arcs",
+    "xy_path",
+]

@@ -1,0 +1,47 @@
+"""Deterministic XY routing for 2D meshes.
+
+XY routing is the mesh's dimension-ordered routing: correct the X
+offset fully (east or west), then the Y offset (north or south).  Like
+E-cube it is minimal, deterministic, and deadlock-free (the channel
+dependency relation only ever goes X -> Y, which the deadlock tests
+verify with the same Dally-Seitz machinery used for the hypercube).
+"""
+
+from __future__ import annotations
+
+from repro.mesh.topology import EAST, Mesh2D, NORTH, SOUTH, WEST
+
+__all__ = ["xy_arcs", "xy_path"]
+
+Arc = tuple[int, int]
+
+
+def xy_arcs(mesh: Mesh2D, src: int, dst: int) -> list[Arc]:
+    """The directed channels of the XY route from ``src`` to ``dst``."""
+    mesh.validate_node(src, "source")
+    mesh.validate_node(dst, "destination")
+    arcs: list[Arc] = []
+    x, y = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    cur = src
+    while x != dx:
+        d = EAST if dx > x else WEST
+        arcs.append((cur, d))
+        x += 1 if dx > x else -1
+        cur = mesh.node(x, y)
+    while y != dy:
+        d = NORTH if dy > y else SOUTH
+        arcs.append((cur, d))
+        y += 1 if dy > y else -1
+        cur = mesh.node(x, y)
+    return arcs
+
+
+def xy_path(mesh: Mesh2D, src: int, dst: int) -> list[int]:
+    """The node sequence of the XY route, inclusive of both ends."""
+    path = [src]
+    for node, direction in xy_arcs(mesh, src, dst):
+        nxt = mesh.neighbor(node, direction)
+        assert nxt is not None
+        path.append(nxt)
+    return path

@@ -1,0 +1,80 @@
+"""2D mesh topology.
+
+Nodes are identified by integer ids ``y * cols + x`` with coordinates
+``(x, y)``, ``x`` the column and ``y`` the row.  Channels are directed:
+``(node, direction)`` with directions 0..3 = east (+x), west (-x),
+north (+y), south (-y) -- mirroring the hypercube convention of
+identifying a channel by its tail node and an outgoing label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["EAST", "Mesh2D", "NORTH", "SOUTH", "WEST"]
+
+EAST, WEST, NORTH, SOUTH = 0, 1, 2, 3
+_DELTAS = {EAST: (1, 0), WEST: (-1, 0), NORTH: (0, 1), SOUTH: (0, -1)}
+
+
+@dataclass(frozen=True, slots=True)
+class Mesh2D:
+    """A ``cols x rows`` 2D mesh (no wraparound links)."""
+
+    cols: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError(f"mesh dimensions must be >= 1, got {self.cols}x{self.rows}")
+
+    @property
+    def size(self) -> int:
+        return self.cols * self.rows
+
+    def node(self, x: int, y: int) -> int:
+        """Node id at column ``x``, row ``y``."""
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(f"({x}, {y}) outside a {self.cols}x{self.rows} mesh")
+        return y * self.cols + x
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """``(x, y)`` of a node id."""
+        self.validate_node(node)
+        return node % self.cols, node // self.cols
+
+    def validate_node(self, node: int, what: str = "node") -> None:
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise TypeError(f"{what} must be an int, got {type(node).__name__}")
+        if not 0 <= node < self.size:
+            raise ValueError(f"{what} {node} outside a {self.cols}x{self.rows} mesh")
+
+    def neighbor(self, node: int, direction: int) -> int | None:
+        """The neighbor across ``direction``, or None at the boundary."""
+        x, y = self.coords(node)
+        try:
+            dx, dy = _DELTAS[direction]
+        except KeyError:
+            raise ValueError(f"unknown direction {direction}") from None
+        nx, ny = x + dx, y + dy
+        if 0 <= nx < self.cols and 0 <= ny < self.rows:
+            return self.node(nx, ny)
+        return None
+
+    def validate_arc(self, arc: tuple[int, int]) -> None:
+        node, direction = arc
+        if self.neighbor(node, direction) is None:
+            raise ValueError(f"channel {arc} leaves the mesh boundary")
+
+    def distance(self, u: int, v: int) -> int:
+        """Manhattan distance (XY-route hop count)."""
+        ux, uy = self.coords(u)
+        vx, vy = self.coords(v)
+        return abs(ux - vx) + abs(uy - vy)
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.cols}x{self.rows} mesh"

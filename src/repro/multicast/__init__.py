@@ -1,0 +1,53 @@
+"""Unicast-based multicast algorithms for wormhole-routed hypercubes.
+
+This subpackage implements the paper's Section 4:
+
+- :mod:`repro.multicast.ucube` -- the prior-art U-cube algorithm
+  (Algorithm 1, Fig. 4), optimal for one-port architectures.
+- :mod:`repro.multicast.maxport` -- the Maxport variant
+  (``next = highdim``), which always forwards into distinct subcubes
+  and hence uses the maximum number of ports.
+- :mod:`repro.multicast.combine` -- the Combine variant
+  (``next = max(highdim, center)``).
+- :mod:`repro.multicast.wsort` -- ``weighted_sort`` (Fig. 7, both the
+  centralized O(m^2) and a fast O(m log m) formulation) and the W-sort
+  pipeline (weighted_sort + subcube Maxport).
+- :mod:`repro.multicast.naive` -- baselines: separate addressing and a
+  store-and-forward-era dimensional tree that involves relay CPUs.
+
+Trees are built by :class:`~repro.multicast.base.MulticastAlgorithm`
+subclasses and scheduled into discrete steps under a
+:class:`~repro.multicast.ports.PortModel`.
+"""
+
+from repro.multicast.base import MulticastAlgorithm, MulticastTree, Schedule, Send
+from repro.multicast.combine import Combine
+from repro.multicast.maxport import Maxport
+from repro.multicast.naive import DimensionalSAF, SeparateAddressing
+from repro.multicast.ports import ALL_PORT, ONE_PORT, PortModel, k_port
+from repro.multicast.registry import ALGORITHMS, get_algorithm
+from repro.multicast.ucube import UCube
+from repro.multicast.verify import verify_multicast
+from repro.multicast.wsort import WSort, weighted_sort, weighted_sort_fast
+
+__all__ = [
+    "ALGORITHMS",
+    "ALL_PORT",
+    "Combine",
+    "DimensionalSAF",
+    "Maxport",
+    "MulticastAlgorithm",
+    "MulticastTree",
+    "ONE_PORT",
+    "PortModel",
+    "Schedule",
+    "Send",
+    "SeparateAddressing",
+    "UCube",
+    "WSort",
+    "get_algorithm",
+    "k_port",
+    "verify_multicast",
+    "weighted_sort",
+    "weighted_sort_fast",
+]

@@ -1,0 +1,165 @@
+"""Shared machinery for the chain-based algorithms (Fig. 4 and Section 4.2).
+
+U-cube, Maxport, and Combine differ in a *single statement* of the main
+loop in Fig. 4 -- the choice of ``next``:
+
+======== =============================
+U-cube   ``next = center``
+Maxport  ``next = highdim``
+Combine  ``next = max(highdim, center)``
+======== =============================
+
+``chain_loop_tree`` implements the common loop over a ``d0``-relative
+dimension-ordered chain.  ``cube_ordered_tree`` implements the
+subcube-recursive formulation of Maxport from Section 4.2, which
+accepts *any* cube-ordered chain (in particular the output of
+``weighted_sort``); on a dimension-ordered chain it emits exactly the
+same sends as the Fig. 4 loop with ``next = highdim``, which the test
+suite verifies.
+
+Both builders work in relative address space (the source is relative
+address 0) and translate back to absolute addresses when emitting,
+exploiting the XOR-translation invariance of E-cube routing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Sequence
+
+from repro.core.addressing import delta, require_address, reverse_bits
+from repro.core.chains import is_cube_ordered_chain, relative_chain
+from repro.core.paths import ResolutionOrder
+from repro.multicast.base import MulticastTree
+
+__all__ = ["build_with_order", "chain_loop_tree", "cube_ordered_tree"]
+
+NextSelector = Callable[[int, int], int]
+
+
+def _highdim_index(chain: Sequence[int], left: int, right: int, x: int) -> int:
+    """Leftmost index ``i`` in ``(left, right]`` with ``delta(chain[left],
+    chain[i]) == x``, assuming the segment is ascending and ``x`` is the
+    highest bit differing anywhere in it.
+
+    Elements differing from ``chain[left]`` at bit ``x`` are exactly
+    those with bit ``x`` set (the segment minimum has it clear), and
+    they form the segment's tail, so a binary search suffices.
+    """
+    threshold = ((chain[left] >> (x + 1)) << (x + 1)) | (1 << x)
+    return bisect_left(chain, threshold, left + 1, right + 1)
+
+
+def chain_loop_tree(
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    select_next: NextSelector,
+    needs_highdim: bool,
+) -> MulticastTree:
+    """The Fig. 4 main loop, executed recursively for every receiver.
+
+    Args:
+        select_next: maps ``(highdim, center)`` to the chain position of
+            the next receiver.  ``highdim`` is only meaningful when
+            ``needs_highdim`` is true (U-cube never inspects it and the
+            search is skipped).
+    """
+    tree = MulticastTree(n, source, destinations)
+    chain = relative_chain(source, destinations)
+
+    def process(left: int, right: int) -> None:
+        while left < right:
+            x = delta(chain[left], chain[right])
+            highdim = _highdim_index(chain, left, right, x) if needs_highdim else -1
+            center = left + (right - left + 1) // 2  # left + ceil((right-left)/2)
+            nxt = select_next(highdim, center)
+            payload = tuple(chain[i] ^ source for i in range(nxt + 1, right + 1))
+            tree.add_send(chain[left] ^ source, chain[nxt] ^ source, payload)
+            process(nxt, right)
+            right = nxt - 1
+
+    process(0, len(chain) - 1)
+    return tree
+
+
+def cube_ordered_tree(
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    reorder: Callable[[list[int], int], list[int]] | None = None,
+) -> MulticastTree:
+    """Subcube-recursive Maxport over a cube-ordered chain (Section 4.2).
+
+    The relative chain is built (dimension-ordered, hence cube-ordered
+    by Theorem 4), optionally permuted by ``reorder`` (e.g.
+    ``weighted_sort``), and then routed: each holder sends one unicast
+    into each maximal subcube of its own subcube that does not contain
+    it and contains at least one destination.
+
+    Args:
+        reorder: optional permutation of the relative chain; must return
+            a cube-ordered chain whose first element is still 0
+            (Theorem 5 guarantees this for ``weighted_sort``).
+    """
+    tree = MulticastTree(n, source, destinations)
+    chain = relative_chain(source, destinations)
+    if reorder is not None:
+        chain = reorder(chain, n)
+        if chain[0] != 0:
+            raise ValueError("reorder must keep the source first in the chain")
+        if __debug__ and len(chain) <= 1 << 12:
+            assert is_cube_ordered_chain(chain, n), "reorder broke cube order"
+
+    def process(left: int, right: int, dim: int) -> None:
+        while left < right:
+            # descend to the level at which the holder's block splits
+            split = right + 1
+            while dim > 0:
+                b = 1 << (dim - 1)
+                head = chain[left] & b
+                split = right + 1
+                for i in range(left + 1, right + 1):
+                    if (chain[i] & b) != head:
+                        split = i
+                        break
+                if split <= right:
+                    break
+                dim -= 1
+            if split > right:  # distinct addresses always split eventually
+                raise AssertionError("cube-ordered chain failed to split")
+            payload = tuple(chain[i] ^ source for i in range(split + 1, right + 1))
+            tree.add_send(chain[left] ^ source, chain[split] ^ source, payload)
+            process(split, right, dim - 1)
+            right = split - 1
+            dim -= 1
+
+    process(0, len(chain) - 1, n)
+    return tree
+
+
+def build_with_order(
+    build: Callable[[int, int, Sequence[int]], MulticastTree],
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    order: ResolutionOrder,
+) -> MulticastTree:
+    """Run a descending-order tree builder under either resolution order.
+
+    Ascending-order (nCUBE-2 style) routing is the bit-reversal
+    conjugate of descending-order routing, so the ascending tree is
+    obtained by bit-reversing all addresses, building the canonical
+    descending tree, and reversing back.  All structural and contention
+    properties transfer (the paper notes the resolution order does not
+    affect any result).
+    """
+    require_address(source, n, "source")
+    if order is ResolutionOrder.DESCENDING:
+        return build(n, source, destinations)
+    rev = lambda x: reverse_bits(x, n)  # noqa: E731
+    rtree = build(n, rev(source), [rev(d) for d in destinations])
+    tree = MulticastTree(n, source, destinations, order=ResolutionOrder.ASCENDING)
+    for s in rtree.sends:
+        tree.add_send(rev(s.src), rev(s.dst), tuple(rev(c) for c in s.chain))
+    return tree

@@ -1,0 +1,46 @@
+"""The Combine multicast algorithm (Section 4.1).
+
+Combine takes ``next = max(highdim, center)`` in the Fig. 4 loop,
+blending U-cube and Maxport: it uses multiple ports whenever the
+destination set allows it (like Maxport), but never leaves a single
+receiver responsible for more than half of the remaining chain (like
+U-cube).  On the Fig. 6 example where Maxport degrades to three steps,
+Combine matches U-cube's two.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast._chainloop import build_with_order, chain_loop_tree
+from repro.multicast.base import MulticastAlgorithm, MulticastTree
+
+__all__ = ["Combine"]
+
+
+class Combine(MulticastAlgorithm):
+    """Combine: ``next = max(highdim, center)`` in the Fig. 4 loop."""
+
+    name = "combine"
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        return build_with_order(
+            lambda n_, s_, d_: chain_loop_tree(
+                n_,
+                s_,
+                d_,
+                select_next=lambda highdim, center: max(highdim, center),
+                needs_highdim=True,
+            ),
+            n,
+            source,
+            destinations,
+            order,
+        )

@@ -1,0 +1,188 @@
+"""Distributed execution of the multicast algorithms.
+
+The centralized builders in this package construct whole trees at once,
+but on a real machine each node runs the algorithm *locally*: it
+receives the message together with an **address field** (the chain of
+destinations it is responsible for), decides its own forwards from that
+field alone, and sends sub-fields onward (Fig. 4's ``Send a copy of
+message M to node d_next with the address field D``).
+
+This module provides that node-local execution model:
+
+- a :class:`Kernel` is a pure function of ``(local relative address,
+  received relative chain)`` producing the node's forwards;
+- :func:`execute_distributed` runs a kernel over an actual message
+  cascade -- *only* information physically carried by messages flows
+  between nodes -- and returns the resulting tree.
+
+The test suite verifies that distributed execution reproduces the
+centralized trees send-for-send for every algorithm, which pins down
+that the address fields attached to sends are exactly sufficient.
+
+Kernels operate in source-relative address space.  ``chain`` always
+begins with the local node's own relative address, mirroring the
+``d_left`` convention of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Protocol, Sequence
+
+from repro.core.addressing import delta, reverse_bits
+from repro.core.chains import relative_chain
+from repro.core.paths import ResolutionOrder
+from repro.multicast.base import MulticastTree
+from repro.multicast.wsort import weighted_sort_fast
+
+__all__ = [
+    "Kernel",
+    "KERNELS",
+    "combine_kernel",
+    "execute_distributed",
+    "maxport_kernel",
+    "ucube_kernel",
+]
+
+
+class Kernel(Protocol):
+    """Node-local forwarding decision.
+
+    Args:
+        chain: the received address field, ``chain[0]`` being the local
+            node's own (source-relative) address.
+
+    Returns:
+        ``(next_node, subchain)`` pairs in issue order; each subchain
+        again starts with its receiver's relative address.
+    """
+
+    def __call__(self, chain: Sequence[int]) -> list[tuple[int, list[int]]]: ...
+
+
+def _chain_loop_kernel(select_next: Callable[[int, int], int], needs_highdim: bool) -> Kernel:
+    """The Fig. 4 loop as a node-local kernel (one node's sends only)."""
+
+    def kernel(chain: Sequence[int]) -> list[tuple[int, list[int]]]:
+        out: list[tuple[int, list[int]]] = []
+        left, right = 0, len(chain) - 1
+        while left < right:
+            x = delta(chain[left], chain[right])
+            if needs_highdim:
+                threshold = ((chain[left] >> (x + 1)) << (x + 1)) | (1 << x)
+                highdim = bisect_left(chain, threshold, left + 1, right + 1)
+            else:
+                highdim = -1
+            center = left + (right - left + 1) // 2
+            nxt = select_next(highdim, center)
+            out.append((chain[nxt], list(chain[nxt : right + 1])))
+            right = nxt - 1
+        return out
+
+    return kernel
+
+
+#: U-cube's node-local rule: send to the first node of the upper half.
+ucube_kernel: Kernel = _chain_loop_kernel(lambda highdim, center: center, False)
+
+#: Combine's node-local rule.
+combine_kernel: Kernel = _chain_loop_kernel(
+    lambda highdim, center: max(highdim, center), True
+)
+
+
+def maxport_kernel(chain: Sequence[int]) -> list[tuple[int, list[int]]]:
+    """Maxport's node-local rule, in the Section 4.2 subcube form.
+
+    Works on any cube-ordered chain (in particular weighted_sort
+    output), deciding purely from the received field: repeatedly find
+    the highest dimension splitting the field and forward the far
+    block.  The enclosing-subcube dimension is recovered from the chain
+    itself, so no extra control information is needed.
+    """
+    out: list[tuple[int, list[int]]] = []
+    left, right = 0, len(chain) - 1
+    if left >= right:
+        return out
+    # smallest subcube containing the whole field
+    spread = 0
+    for v in chain:
+        spread |= v ^ chain[0]
+    dim = spread.bit_length()
+    while left < right:
+        split = right + 1
+        while dim > 0:
+            b = 1 << (dim - 1)
+            head = chain[left] & b
+            split = right + 1
+            for i in range(left + 1, right + 1):
+                if (chain[i] & b) != head:
+                    split = i
+                    break
+            if split <= right:
+                break
+            dim -= 1
+        out.append((chain[split], list(chain[split : right + 1])))
+        right = split - 1
+        dim -= 1
+    return out
+
+
+#: Kernels by algorithm name.  W-sort uses the maxport kernel -- the
+#: weighted sort happens once, at the source, before injection.
+KERNELS: dict[str, Kernel] = {
+    "ucube": ucube_kernel,
+    "maxport": maxport_kernel,
+    "combine": combine_kernel,
+    "wsort": maxport_kernel,
+}
+
+
+def execute_distributed(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> MulticastTree:
+    """Run a multicast as the nodes themselves would.
+
+    The source sorts the destinations into the source-relative chain
+    (W-sort additionally applies ``weighted_sort``), then every node --
+    starting with the source -- applies its kernel to the address field
+    it received and hands sub-fields onward.  No node sees anything but
+    its own field.
+
+    Returns the tree realized by the cascade, directly comparable with
+    the centralized builders' output.
+    """
+    try:
+        kernel = KERNELS[algorithm]
+    except KeyError:
+        known = ", ".join(KERNELS)
+        raise KeyError(f"no distributed kernel for {algorithm!r}; known: {known}") from None
+
+    if order is ResolutionOrder.ASCENDING:
+        rev = lambda x: reverse_bits(x, n)  # noqa: E731
+        rtree = execute_distributed(
+            algorithm, n, rev(source), [rev(d) for d in destinations]
+        )
+        tree = MulticastTree(n, source, destinations, order=order)
+        for s in rtree.sends:
+            tree.add_send(rev(s.src), rev(s.dst), tuple(rev(c) for c in s.chain))
+        return tree
+
+    tree = MulticastTree(n, source, destinations, order=order)
+    chain = relative_chain(source, destinations)
+    if algorithm == "wsort":
+        chain = weighted_sort_fast(chain, n)
+
+    # message cascade: FIFO of (receiving node's field)
+    pending: list[list[int]] = [list(chain)]
+    while pending:
+        field = pending.pop(0)
+        local = field[0]
+        for nxt_rel, subfield in kernel(field):
+            tree.add_send(local ^ source, nxt_rel ^ source, tuple(v ^ source for v in subfield[1:]))
+            pending.append(subfield)
+    return tree

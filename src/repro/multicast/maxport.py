@@ -1,0 +1,73 @@
+"""The Maxport multicast algorithm (Section 4.1).
+
+Maxport changes a single statement of the U-cube loop:
+``next = highdim`` -- each sender transmits to the *leftmost* chain node
+whose address differs from the sender's in the chain's highest differing
+dimension.  Consequently every unicast a node issues leaves on a
+different outgoing channel (a different subcube), so an all-port node
+can transmit all of them in parallel, contention-free by Theorem 1.
+
+The price is that a single receiver can be left responsible for a large
+subcube of destinations: for source 0000 and destinations
+{1001, 1010, 1011} Maxport needs three steps where U-cube needs two
+(Fig. 6) -- the deficiency that Combine and W-sort repair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast._chainloop import build_with_order, chain_loop_tree, cube_ordered_tree
+from repro.multicast.base import MulticastAlgorithm, MulticastTree
+
+__all__ = ["Maxport"]
+
+
+class Maxport(MulticastAlgorithm):
+    """Maxport: ``next = highdim`` in the Fig. 4 loop."""
+
+    name = "maxport"
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        return build_with_order(
+            lambda n_, s_, d_: chain_loop_tree(
+                n_, s_, d_, select_next=lambda highdim, center: highdim, needs_highdim=True
+            ),
+            n,
+            source,
+            destinations,
+            order,
+        )
+
+
+class MaxportSubcube(MulticastAlgorithm):
+    """The subcube-recursive formulation of Maxport (Section 4.2).
+
+    Emits exactly the same sends as :class:`Maxport` on dimension-ordered
+    chains (verified in the tests) but accepts any cube-ordered chain;
+    it is the routing half of W-sort.
+    """
+
+    name = "maxport-subcube"
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        return build_with_order(
+            lambda n_, s_, d_: cube_ordered_tree(n_, s_, d_),
+            n,
+            source,
+            destinations,
+            order,
+        )

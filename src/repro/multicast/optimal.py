@@ -1,0 +1,169 @@
+"""Exhaustive search for step-optimal all-port multicasts (small cases).
+
+Figure 3(e) of the paper presents a 2-step tree as "optimal for
+multicast to the given set of nodes on an all-port architecture".  To
+check such claims -- and to quantify how close the heuristics get --
+this module computes the true minimum number of steps by
+iterative-deepening search over *step-synchronous* schedules:
+
+- in each step, a set of unicasts is sent whose paths are pairwise
+  arc-disjoint (the same conservative concurrency rule the greedy
+  scheduler uses);
+- senders must already hold the message, each sender issues at most
+  ``n`` unicasts per step (all-port), and only the source and the
+  destinations may handle the message;
+- the search ends when every destination holds the message.
+
+The cost is exponential in the number of destinations; intended for
+``m`` up to ~8 in small cubes (it verifies the paper's examples and
+serves as the ground truth for property tests on random small cases).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.paths import Arc, ResolutionOrder, ecube_arcs
+from repro.multicast.base import MulticastTree
+
+__all__ = ["allport_lower_bound", "optimal_steps", "optimal_tree"]
+
+
+def allport_lower_bound(m: int, n: int) -> int:
+    """Information-theoretic bound: the number of informed nodes grows
+    at most ``(n + 1)``-fold per step, so reaching ``m`` destinations
+    needs at least ``ceil(log_{n+1}(m + 1))`` steps."""
+    if m <= 0:
+        return 0
+    return max(1, math.ceil(math.log(m + 1, n + 1) - 1e-12))
+
+
+class _Searcher:
+    def __init__(self, n: int, source: int, dests: Sequence[int], order: ResolutionOrder):
+        self.n = n
+        self.source = source
+        self.dests = tuple(sorted(dests))
+        self.order = order
+        self.participants = (source,) + self.dests
+
+        @lru_cache(maxsize=None)
+        def arcs(u: int, v: int) -> frozenset[Arc]:
+            return frozenset(ecube_arcs(u, v, order))
+
+        self._arcs = arcs
+        self.best_plan: list[list[tuple[int, int]]] | None = None
+
+    def search(self, limit: int) -> bool:
+        self._seen: dict[frozenset[int], int] = {}
+        return self._dfs(frozenset((self.source,)), limit, [])
+
+    def _dfs(
+        self,
+        informed: frozenset[int],
+        steps_left: int,
+        plan: list[list[tuple[int, int]]],
+    ) -> bool:
+        uninformed = [d for d in self.dests if d not in informed]
+        if not uninformed:
+            self.best_plan = [list(step) for step in plan]
+            return True
+        if steps_left <= 0:
+            return False
+        # growth-rate prune
+        if len(informed) * ((self.n + 1) ** steps_left) < len(informed) + len(uninformed):
+            return False
+        prev = self._seen.get(informed)
+        if prev is not None and prev >= steps_left:
+            return False
+        self._seen[informed] = steps_left
+
+        senders = sorted(informed)
+        ports = {s: self.n for s in senders}
+
+        # choose, for each uninformed destination (in order), either a
+        # sender whose path is arc-disjoint from those already chosen
+        # this step, or postponement
+        chosen: list[tuple[int, int]] = []
+        used_arcs: set[Arc] = set()
+
+        def assign(idx: int) -> bool:
+            if idx == len(uninformed):
+                if not chosen:  # an empty step never helps
+                    return False
+                step_receivers = frozenset(dst for _, dst in chosen)
+                plan.append(list(chosen))
+                ok = self._dfs(informed | step_receivers, steps_left - 1, plan)
+                plan.pop()
+                return ok
+            dst = uninformed[idx]
+            for src in senders:
+                if ports[src] == 0:
+                    continue
+                a = self._arcs(src, dst)
+                if a & used_arcs:
+                    continue
+                ports[src] -= 1
+                chosen.append((src, dst))
+                used_arcs.update(a)
+                if assign(idx + 1):
+                    return True
+                used_arcs.difference_update(a)
+                chosen.pop()
+                ports[src] += 1
+            # postpone this destination
+            return assign(idx + 1)
+
+        return assign(0)
+
+
+def optimal_steps(
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    max_steps: int | None = None,
+) -> int:
+    """Minimum number of steps for an all-port multicast (exact).
+
+    Raises:
+        RuntimeError: if no schedule exists within ``max_steps``
+            (cannot happen when ``max_steps`` is None: U-cube's
+            ``ceil(log2(m + 1))`` is always feasible).
+    """
+    dests = sorted(set(destinations))
+    if not dests:
+        return 0
+    m = len(dests)
+    searcher = _Searcher(n, source, dests, order)
+    lo = allport_lower_bound(m, n)
+    hi = max_steps if max_steps is not None else max(lo, math.ceil(math.log2(m + 1)))
+    for limit in range(lo, hi + 1):
+        if searcher.search(limit):
+            return limit
+    raise RuntimeError(f"no schedule within {hi} steps (should be impossible)")
+
+
+def optimal_tree(
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> MulticastTree:
+    """An actual step-optimal multicast tree found by the search."""
+    dests = sorted(set(destinations))
+    tree = MulticastTree(n, source, dests, order)
+    if not dests:
+        return tree
+    searcher = _Searcher(n, source, dests, order)
+    lo = allport_lower_bound(len(dests), n)
+    hi = max(lo, math.ceil(math.log2(len(dests) + 1)))
+    for limit in range(lo, hi + 1):
+        if searcher.search(limit):
+            break
+    assert searcher.best_plan is not None, "U-cube bound guarantees feasibility"
+    for step_sends in searcher.best_plan:
+        for src, dst in step_sends:
+            tree.add_send(src, dst)
+    return tree

@@ -1,0 +1,57 @@
+"""Port models: how many messages a node can send concurrently.
+
+The *port model* of a system is the number of internal channel pairs
+between each local processor and its router.  A one-port node must
+serialize its sends; an all-port node has one internal channel per
+external channel and can drive all ``n`` dimensions at once.  The
+``k``-port generalization (1 < k < n) is included as an extension
+beyond the paper, which evaluates the two extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ALL_PORT", "ONE_PORT", "PortModel", "k_port"]
+
+
+@dataclass(frozen=True, slots=True)
+class PortModel:
+    """Number of internal channel pairs per node.
+
+    Attributes:
+        ports: concurrent send (and receive) limit per node, or ``None``
+            for the all-port model, where the limit is the cube
+            dimension ``n``.
+        name: human-readable label used in reports.
+    """
+
+    ports: int | None
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.ports is not None and self.ports < 1:
+            raise ValueError(f"port count must be >= 1, got {self.ports}")
+
+    def limit(self, n: int) -> int:
+        """Concurrent-send limit for a node of an ``n``-cube."""
+        return n if self.ports is None else min(self.ports, n)
+
+    @property
+    def is_all_port(self) -> bool:
+        return self.ports is None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: One internal channel pair: sends are fully serialized.
+ONE_PORT = PortModel(1, "one-port")
+
+#: One internal channel pair per external channel.
+ALL_PORT = PortModel(None, "all-port")
+
+
+def k_port(k: int) -> PortModel:
+    """A ``k``-port model (extension; the paper evaluates 1 and ``n``)."""
+    return PortModel(k, f"{k}-port")

@@ -1,0 +1,47 @@
+"""Registry of multicast algorithms by name.
+
+The evaluation harness, CLI, and benchmarks refer to algorithms by the
+short names used in the paper's figure legends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.multicast.base import MulticastAlgorithm
+from repro.multicast.combine import Combine
+from repro.multicast.maxport import Maxport, MaxportSubcube
+from repro.multicast.naive import DimensionalSAF, SeparateAddressing
+from repro.multicast.ucube import UCube
+from repro.multicast.wsort import WSort
+
+__all__ = ["ALGORITHMS", "PAPER_ALGORITHMS", "get_algorithm"]
+
+#: Factories for every algorithm in the library.
+ALGORITHMS: dict[str, Callable[[], MulticastAlgorithm]] = {
+    "ucube": UCube,
+    "maxport": Maxport,
+    "maxport-subcube": MaxportSubcube,
+    "combine": Combine,
+    "wsort": WSort,
+    "separate": SeparateAddressing,
+    "saf": DimensionalSAF,
+}
+
+#: The four algorithms compared in the paper's evaluation (Section 5),
+#: in figure-legend order.
+PAPER_ALGORITHMS: tuple[str, ...] = ("ucube", "maxport", "combine", "wsort")
+
+
+def get_algorithm(name: str) -> MulticastAlgorithm:
+    """Instantiate an algorithm by registry name.
+
+    Raises:
+        KeyError: with the list of known names, if ``name`` is unknown.
+    """
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory()

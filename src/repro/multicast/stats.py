@@ -1,0 +1,86 @@
+"""Descriptive statistics of multicast trees and schedules.
+
+Beyond the step count, the paper's design space trades off tree depth
+(latency), fan-out (port usage), and traffic (channel-hops).  These
+metrics make the trade-offs measurable and are used by the ablation
+analyses and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.addressing import delta, hamming
+from repro.multicast.base import MulticastTree, Schedule
+
+__all__ = ["TreeStats", "tree_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class TreeStats:
+    """Structural metrics of one multicast tree.
+
+    Attributes:
+        sends: number of constituent unicasts.
+        depth: tree height in unicasts (forwarding chain length).
+        total_hops: total physical channel-hops (network traffic).
+        mean_hops: average unicast path length.
+        max_fanout: largest number of sends issued by any single node.
+        mean_fanout: average sends per sending node.
+        distinct_port_senders: nodes all of whose sends leave on
+            distinct channels (these can use all ports in parallel).
+        relay_cpus: non-destination CPUs that must handle the message.
+    """
+
+    sends: int
+    depth: int
+    total_hops: int
+    mean_hops: float
+    max_fanout: int
+    mean_fanout: float
+    distinct_port_senders: int
+    relay_cpus: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sends": self.sends,
+            "depth": self.depth,
+            "total_hops": self.total_hops,
+            "mean_hops": self.mean_hops,
+            "max_fanout": self.max_fanout,
+            "mean_fanout": self.mean_fanout,
+            "distinct_port_senders": self.distinct_port_senders,
+            "relay_cpus": self.relay_cpus,
+        }
+
+
+def tree_stats(tree: MulticastTree) -> TreeStats:
+    """Compute :class:`TreeStats` for a tree."""
+    sends = tree.sends
+    senders = {s.src for s in sends}
+    fanouts = [len(tree.sends_from(u)) for u in senders]
+    distinct = 0
+    for u in senders:
+        dims = [delta(s.src, s.dst) for s in tree.sends_from(u)]
+        if len(set(dims)) == len(dims):
+            distinct += 1
+    hops = [hamming(s.src, s.dst) for s in sends]
+    return TreeStats(
+        sends=len(sends),
+        depth=tree.depth() if sends else 0,
+        total_hops=sum(hops),
+        mean_hops=mean(hops) if hops else 0.0,
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=mean(fanouts) if fanouts else 0.0,
+        distinct_port_senders=distinct,
+        relay_cpus=len(tree.relay_nodes),
+    )
+
+
+def schedule_concurrency(schedule: Schedule) -> dict[int, int]:
+    """Number of unicasts in flight at each step of a schedule."""
+    counts: dict[int, int] = {}
+    for u in schedule.unicasts:
+        counts[u.step] = counts.get(u.step, 0) + 1
+    return counts

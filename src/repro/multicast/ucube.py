@@ -1,0 +1,56 @@
+"""The U-cube multicast algorithm (Algorithm 1 / Fig. 4 of the paper).
+
+U-cube [McKinley, Xu, Esfahanian & Ni 1992] is the prior-art algorithm
+the paper builds on.  It sorts the source and destinations into a
+``d0``-relative dimension-ordered chain and repeatedly sends to the
+first node of the chain's upper half (``next = center``), halving the
+set of nodes each sender is responsible for.
+
+On a one-port architecture it is optimal: it reaches ``m`` destinations
+in exactly ``ceil(log2(m + 1))`` steps and is contention-free regardless
+of startup latency and message length.  It makes no attempt to use
+multiple ports, which is precisely the deficiency the paper's Maxport,
+Combine, and W-sort address.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import Sequence
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast._chainloop import build_with_order, chain_loop_tree
+from repro.multicast.base import MulticastAlgorithm, MulticastTree
+
+__all__ = ["UCube", "ucube_optimal_steps"]
+
+
+def ucube_optimal_steps(m: int) -> int:
+    """Tight lower bound ``ceil(log2(m + 1))`` on one-port steps to
+    reach ``m`` destinations; U-cube achieves it."""
+    if m < 0:
+        raise ValueError(f"destination count must be >= 0, got {m}")
+    return ceil(log2(m + 1)) if m else 0
+
+
+class UCube(MulticastAlgorithm):
+    """U-cube: ``next = center`` in the Fig. 4 loop."""
+
+    name = "ucube"
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        return build_with_order(
+            lambda n_, s_, d_: chain_loop_tree(
+                n_, s_, d_, select_next=lambda highdim, center: center, needs_highdim=False
+            ),
+            n,
+            source,
+            destinations,
+            order,
+        )

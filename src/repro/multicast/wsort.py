@@ -1,0 +1,151 @@
+"""``weighted_sort`` (Fig. 7) and the W-sort multicast algorithm (Section 4.2).
+
+A dimension-ordered chain is a legal input to Maxport, but not
+necessarily the best one: performance improves if every (intermediate)
+sender forwards first into the most "crowded" subcube.  ``weighted_sort``
+permutes a cube-ordered chain by recursively exchanging subcube halves
+so that the more populated half appears first, never moving the source
+from position 0 (Theorem 5).  Feeding the permuted chain to the
+subcube-recursive Maxport yields the *W-sort* algorithm, which is
+contention-free (Theorem 6).
+
+Two implementations of the sort are provided:
+
+- :func:`weighted_sort` -- a literal transcription of Fig. 7, the
+  centralized ``O(m^2)`` procedure;
+- :func:`weighted_sort_fast` -- an ``O(m log m)`` reformulation that
+  mirrors the distributed version the paper defers to its tech report
+  [10]; it produces the identical permutation (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.chains import is_cube_ordered_chain
+from repro.core.paths import ResolutionOrder
+from repro.multicast._chainloop import build_with_order, cube_ordered_tree
+from repro.multicast.base import MulticastAlgorithm, MulticastTree
+
+__all__ = ["WSort", "cube_center", "weighted_sort", "weighted_sort_fast"]
+
+
+def cube_center(chain: Sequence[int], first: int, last: int, n_s: int) -> int:
+    """Starting position of the second ``(n_s - 1)``-dimensional half of
+    the subcube block ``chain[first..last]``.
+
+    The block must lie within a single subcube with ``n_s`` free bits
+    and be cube-ordered, so the elements sharing bit ``n_s - 1`` with
+    ``chain[first]`` form a prefix; the returned index is the first
+    position beyond that prefix, or ``last + 1`` when one half contains
+    no nodes at all.
+    """
+    if n_s < 1:
+        raise ValueError(f"subcube dimension must be >= 1, got {n_s}")
+    b = 1 << (n_s - 1)
+    head = chain[first] & b
+    for i in range(first + 1, last + 1):
+        if (chain[i] & b) != head:
+            return i
+    return last + 1
+
+
+def weighted_sort(chain: Sequence[int], n: int) -> list[int]:
+    """Fig. 7: permute a cube-ordered chain so the most populated subcube
+    half always comes first, keeping position 0 (the source) fixed.
+
+    Args:
+        chain: a cube-ordered chain of dimension ``n`` whose first
+            element is the (relative) source address.
+        n: the hypercube dimension.
+
+    Returns:
+        A new list: a cube-ordered permutation of ``chain`` with
+        ``chain[0]`` still first (Theorem 5).
+    """
+    if not is_cube_ordered_chain(chain, n):
+        raise ValueError("weighted_sort requires a cube-ordered chain")
+    d = list(chain)
+
+    def rec(first: int, last: int, n_s: int) -> None:
+        if last - first >= 2:
+            center = cube_center(d, first, last, n_s)
+            rec(first, center - 1, n_s - 1)
+            rec(center, last, n_s - 1)
+            if first != 0 and (center - first) < (last - center + 1):
+                d[first : last + 1] = d[center : last + 1] + d[first:center]
+
+    rec(0, len(d) - 1, n)
+    return d
+
+
+def weighted_sort_fast(chain: Sequence[int], n: int) -> list[int]:
+    """``O(m log m)`` reformulation of :func:`weighted_sort`.
+
+    Produces the identical permutation by recursing over value-space
+    subcube halves of the *sorted* chain and concatenating the larger
+    half first (except in the block containing the source, whose own
+    half always stays first).  Requires the input to be dimension-ordered
+    apart from its leading source element, which is how W-sort always
+    invokes the sort; for arbitrary cube-ordered inputs use
+    :func:`weighted_sort`.
+    """
+    if len(chain) <= 2:
+        return list(chain)
+    d = list(chain)
+    body = d[1:]
+    if any(body[i] >= body[i + 1] for i in range(len(body) - 1)) or (d[0] > body[0]):
+        raise ValueError(
+            "weighted_sort_fast requires a dimension-ordered chain "
+            "(source first, destinations ascending)"
+        )
+
+    out: list[int] = []
+
+    def rec(lo: int, hi: int, n_s: int, has_source: bool) -> None:
+        # d[lo:hi] is the sorted block of one subcube with n_s free bits
+        if hi - lo <= 1:
+            out.extend(d[lo:hi])
+            return
+        b = 1 << (n_s - 1)
+        head = d[lo] & b
+        split = hi
+        for i in range(lo + 1, hi):
+            if (d[i] & b) != head:
+                split = i
+                break
+        low_n, high_n = split - lo, hi - split
+        if has_source or low_n >= high_n:
+            rec(lo, split, n_s - 1, has_source)
+            rec(split, hi, n_s - 1, False)
+        else:
+            rec(split, hi, n_s - 1, False)
+            rec(lo, split, n_s - 1, False)
+
+    rec(0, len(d), n, True)
+    return out
+
+
+class WSort(MulticastAlgorithm):
+    """W-sort: dimension-order sort, then ``weighted_sort``, then the
+    subcube-recursive Maxport (Section 4.2)."""
+
+    name = "wsort"
+
+    def __init__(self, fast_sort: bool = True) -> None:
+        self._sort = weighted_sort_fast if fast_sort else weighted_sort
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        return build_with_order(
+            lambda n_, s_, d_: cube_ordered_tree(n_, s_, d_, reorder=self._sort),
+            n,
+            source,
+            destinations,
+            order,
+        )

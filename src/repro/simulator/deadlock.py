@@ -1,0 +1,97 @@
+"""Deadlock analysis: channel-dependency graphs (Dally & Seitz).
+
+Wormhole routing is deadlock-free iff the *channel dependency graph* --
+a directed graph over channels with an edge ``c1 -> c2`` whenever some
+route uses ``c2`` immediately after ``c1`` -- is acyclic.  E-cube
+routing orders channels by dimension, so its dependency graph is
+trivially acyclic; that is what licenses the paper (and this library)
+to ignore deadlock entirely.  This module makes the argument
+executable:
+
+- :func:`channel_dependency_graph` builds the graph for any routing
+  function over all node pairs;
+- :func:`is_deadlock_free` checks acyclicity (via networkx);
+- :func:`find_dependency_cycle` returns a witness cycle for routing
+  functions that are *not* safe (e.g. random minimal routing).
+
+A run-time companion, :func:`waiting_cycle`, inspects a live network
+and reports an actual circular wait among blocked worms -- used by the
+failure-injection tests to show a real deadlock happening under unsafe
+routing.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.paths import Arc
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.routing import RoutingFunction
+
+__all__ = [
+    "channel_dependency_graph",
+    "find_dependency_cycle",
+    "is_deadlock_free",
+    "waiting_cycle",
+]
+
+
+def channel_dependency_graph(n: int, route: RoutingFunction) -> "nx.DiGraph":
+    """The channel dependency graph of ``route`` over all ``(src, dst)``
+    pairs of the ``n``-cube.
+
+    Note: for *randomized* routing functions this samples one route per
+    pair; safety claims then hold only for the sampled behaviour, while
+    a found cycle is already a genuine counterexample.
+    """
+    g = nx.DiGraph()
+    size = 1 << n
+    for u in range(size):
+        for d in range(n):
+            g.add_node((u, d))
+    for src in range(size):
+        for dst in range(size):
+            if src == dst:
+                continue
+            arcs = route(src, dst)
+            for a, b in zip(arcs, arcs[1:]):
+                g.add_edge(a, b)
+    return g
+
+
+def is_deadlock_free(n: int, route: RoutingFunction) -> bool:
+    """True iff the channel dependency graph is acyclic."""
+    return nx.is_directed_acyclic_graph(channel_dependency_graph(n, route))
+
+
+def find_dependency_cycle(n: int, route: RoutingFunction) -> list[Arc] | None:
+    """A witness cycle of channels, or None if the graph is acyclic."""
+    g = channel_dependency_graph(n, route)
+    try:
+        cycle_edges = nx.find_cycle(g)
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in cycle_edges]
+
+
+def waiting_cycle(network: WormholeNetwork) -> list[int] | None:
+    """Detect a circular wait among currently blocked worms.
+
+    Builds the wait-for graph: worm ``w`` waits for the worm occupying
+    the channel at the head of ``w``'s queue position.  Returns the
+    worm uids on a cycle, or None.  On an idle or live network this is
+    always None; under an unsafe routing function it is the post-mortem
+    evidence of deadlock.
+    """
+    g = nx.DiGraph()
+    for ch in network._channels.values():
+        if ch.occupied_by is None:
+            continue
+        holder = ch.occupied_by.uid
+        for waiter in ch.queue:
+            g.add_edge(waiter.uid, holder)
+    try:
+        cycle_edges = nx.find_cycle(g)
+    except (nx.NetworkXNoCycle, nx.NetworkXError):
+        return None
+    return [edge[0] for edge in cycle_edges]

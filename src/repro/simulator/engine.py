@@ -1,0 +1,122 @@
+"""A minimal discrete-event simulation kernel.
+
+The paper's MultiSim was built on the (proprietary) CSIM library; this
+module provides the small slice of discrete-event machinery the network
+model needs: a time-ordered event heap with deterministic FIFO
+tie-breaking and cancellable events.
+
+Determinism matters: two events scheduled for the same instant fire in
+scheduling order, so simulation runs are exactly reproducible and the
+unit-cost cross-validation against the abstract step scheduler is
+stable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(slots=True)
+class Event:
+    """A scheduled callback.
+
+    The heap itself stores ``(time, seq, event)`` tuples so that heap
+    maintenance compares native floats/ints -- profiling the 10-cube
+    sweeps showed a generated dataclass ``__lt__`` dominating otherwise.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None]
+    args: tuple[Any, ...] = ()
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap lazily)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event heap + clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "five microseconds later")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (microseconds by convention)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (for instrumentation)."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` from now.
+
+        Raises:
+            ValueError: if ``delay`` is negative (the past is immutable).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        return ev
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or None if the heap is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when nothing is pending."""
+        while self._heap:
+            _, _, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._processed += 1
+            ev.callback(*ev.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the heap drains (or a limit is hit); returns the clock.
+
+        Args:
+            until: stop before firing any event later than this time.
+            max_events: safety valve against runaway models.
+        """
+        fired = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or (until is not None and nxt > until):
+                break
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            self.step()
+            fired += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

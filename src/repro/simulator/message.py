@@ -1,0 +1,77 @@
+"""Worm (in-flight wormhole message) representation."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.paths import Arc
+
+__all__ = ["Worm", "WormState"]
+
+
+class WormState(enum.Enum):
+    """Lifecycle of a worm."""
+
+    PENDING = "pending"  # created, waiting for an injection port
+    INJECTING = "injecting"  # header advancing / blocked in the network
+    DELIVERED = "delivered"  # tail drained at the destination router
+    RECEIVED = "received"  # receiving CPU finished its software overhead
+
+
+@dataclass(slots=True)
+class Worm:
+    """One unicast in flight.
+
+    Attributes:
+        uid: unique id (issue order).
+        src/dst: endpoint node addresses.
+        size: message length in bytes.
+        arcs: the E-cube path's directed channels, in traversal order.
+        payload: opaque data carried to the receiver (the multicast
+            address field, reduction operands, ...).
+        hop: index of the next arc the header must acquire.
+        held: number of leading arcs currently held by the worm.
+    """
+
+    uid: int
+    src: int
+    dst: int
+    size: int
+    arcs: list[Arc]
+    payload: Any = None
+
+    state: WormState = WormState.PENDING
+    hop: int = 0
+    held: int = 0
+
+    # timestamps (microseconds); -1.0 means "not yet"
+    t_created: float = -1.0
+    t_injected: float = -1.0
+    t_delivered: float = -1.0
+    t_received: float = -1.0
+
+    # accumulated time the header spent blocked on busy channels
+    blocked_time: float = 0.0
+    _blocked_since: float = field(default=-1.0, repr=False)
+
+    @property
+    def hops(self) -> int:
+        """Physical path length."""
+        return len(self.arcs)
+
+    @property
+    def network_latency(self) -> float:
+        """Injection-to-delivery time (valid once delivered)."""
+        if self.t_delivered < 0 or self.t_injected < 0:
+            raise ValueError(f"worm {self.uid} not delivered yet")
+        return self.t_delivered - self.t_injected
+
+    def mark_blocked(self, now: float) -> None:
+        self._blocked_since = now
+
+    def mark_unblocked(self, now: float) -> None:
+        if self._blocked_since >= 0:
+            self.blocked_time += now - self._blocked_since
+            self._blocked_since = -1.0

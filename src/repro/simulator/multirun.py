@@ -1,0 +1,147 @@
+"""Concurrent multicasts: collective *data distribution* at large.
+
+The paper's title problem is broader than a single multicast: in real
+redistribution phases several nodes multicast at once (e.g. every
+producer broadcasts its boundary data).  Each algorithm guarantees its
+*own* unicasts are contention-free; concurrent operations still compete
+for channels.  This driver runs any number of multicast trees in one
+network so that cross-operation interference can be measured -- the
+operations with fewer channel-hops and fewer steps interfere less,
+which is an additional (unproven in the paper) advantage of the
+contention-aware algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Sequence
+
+from repro.multicast.base import MulticastTree
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.node import HostNode
+from repro.simulator.params import NCUBE2, Timings
+
+__all__ = ["ConcurrentResult", "simulate_concurrent_multicasts"]
+
+
+@dataclass(slots=True)
+class ConcurrentResult:
+    """Outcome of several multicasts sharing the network."""
+
+    trees: list[MulticastTree]
+    #: per multicast: destination -> delay from that multicast's start
+    delays: list[dict[int, float]]
+    start_times: list[float]
+    total_blocked_time: float
+    events: int
+
+    @property
+    def avg_delays(self) -> list[float]:
+        return [
+            mean(d[x] for x in t.destinations) if t.destinations else 0.0
+            for t, d in zip(self.trees, self.delays)
+        ]
+
+    @property
+    def max_delays(self) -> list[float]:
+        return [
+            max((d[x] for x in t.destinations), default=0.0)
+            for t, d in zip(self.trees, self.delays)
+        ]
+
+    @property
+    def makespan(self) -> float:
+        """Time from the first start until the last delivery."""
+        finish = [
+            s + mx for s, mx in zip(self.start_times, self.max_delays)
+        ]
+        return max(finish, default=0.0) - min(self.start_times, default=0.0)
+
+
+def simulate_concurrent_multicasts(
+    trees: Sequence[MulticastTree],
+    size: int = 4096,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+    start_times: Sequence[float] | None = None,
+    max_events: int | None = 10_000_000,
+) -> ConcurrentResult:
+    """Run several multicast trees over one wormhole network.
+
+    All trees must share the cube dimension and resolution order.  A
+    node may appear in any role in any number of the operations; its
+    injection ports are shared across them.
+
+    Args:
+        start_times: per-tree injection start (default: all at 0.0).
+    """
+    if not trees:
+        raise ValueError("need at least one multicast tree")
+    n = trees[0].n
+    order = trees[0].order
+    for t in trees:
+        if t.n != n or t.order is not order:
+            raise ValueError("all trees must share cube size and resolution order")
+    starts = list(start_times) if start_times is not None else [0.0] * len(trees)
+    if len(starts) != len(trees):
+        raise ValueError("start_times must match trees")
+    if any(s < 0 for s in starts):
+        raise ValueError("start times must be non-negative")
+
+    sim = Simulator()
+    limit = ports.limit(n)
+    nodes: dict[int, HostNode] = {}
+    delays: list[dict[int, float]] = [{} for _ in trees]
+
+    def on_receive(host: HostNode, worm: Worm) -> None:
+        ti = worm.payload
+        delays[ti][host.address] = sim.now - starts[ti]
+        sends = [(s.dst, size, ti) for s in trees[ti].sends_from(host.address)]
+        if sends:
+            host.submit_sends(sends, sim.now)
+
+    def get_node(address: int) -> HostNode:
+        node = nodes.get(address)
+        if node is None:
+            node = nodes[address] = HostNode(network, address, limit, on_receive)
+        return node
+
+    def on_delivered(worm: Worm) -> None:
+        get_node(worm.src).release_port()
+        get_node(worm.dst).deliver(worm)
+
+    network = WormholeNetwork(
+        sim, n, timings=timings, order=order, on_delivered=on_delivered
+    )
+
+    for ti, tree in enumerate(trees):
+        sends = [(s.dst, size, ti) for s in tree.sends_from(tree.source)]
+        if not sends:
+            continue
+
+        def fire(ti=ti, src=tree.source, sends=sends) -> None:
+            get_node(src).submit_sends(sends, sim.now)
+
+        sim.schedule(starts[ti], fire)
+
+    sim.run(max_events=max_events)
+    network.assert_quiescent()
+
+    for ti, tree in enumerate(trees):
+        missing = tree.destinations - delays[ti].keys()
+        if missing:
+            raise AssertionError(
+                f"multicast {ti} never reached destinations {sorted(missing)}"
+            )
+
+    return ConcurrentResult(
+        trees=list(trees),
+        delays=delays,
+        start_times=starts,
+        total_blocked_time=network.total_blocked_time,
+        events=sim.events_processed,
+    )

@@ -1,0 +1,192 @@
+"""The wormhole network model: channels, header progression, blocking.
+
+Model (DESIGN.md Section 3): a worm's header acquires the directed
+channels of its E-cube path one at a time, spending ``t_hop`` per
+acquired hop.  A header that finds a channel busy joins that channel's
+FIFO queue while *holding* every channel it already acquired -- the
+defining (and costly) property of wormhole switching.  Once the header
+reaches the destination router, the body pipelines through at channel
+rate, so the tail drains ``size * t_byte`` later; at that instant the
+message is delivered and every held channel is released (a conservative
+simplification: on real hardware channel ``i`` is released as the tail
+*passes* it, a stagger of at most ``hops * t_hop`` which is negligible
+against ``size * t_byte`` and can only make the model report *more*
+contention, never less).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.core.addressing import require_address
+from repro.core.paths import Arc, ResolutionOrder, ecube_arcs
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm, WormState
+from repro.simulator.params import NCUBE2, Timings
+from repro.simulator.trace import ChannelTrace
+
+__all__ = ["Channel", "WormholeNetwork"]
+
+
+class Channel:
+    """One directed channel with single ownership and a FIFO wait queue."""
+
+    __slots__ = ("arc", "occupied_by", "queue")
+
+    def __init__(self, arc: Arc) -> None:
+        self.arc = arc
+        self.occupied_by: Worm | None = None
+        self.queue: deque[Worm] = deque()
+
+    @property
+    def busy(self) -> bool:
+        return self.occupied_by is not None
+
+
+class WormholeNetwork:
+    """An ``n``-cube of wormhole routers driven by a :class:`Simulator`.
+
+    Args:
+        sim: the event kernel.
+        n: hypercube dimension.
+        timings: cost model (defaults to nCUBE-2-like constants).
+        order: E-cube resolution order used by all routes.
+        trace: record channel occupancies (small overhead; on by default
+            in tests, off in large benchmark sweeps).
+        on_delivered: callback fired when a worm's tail drains at its
+            destination router (before the receiving CPU's ``t_recv``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        timings: Timings = NCUBE2,
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+        trace: bool = False,
+        on_delivered: Callable[[Worm], None] | None = None,
+        route: Callable[[int, int], list[Arc]] | None = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"hypercube dimension must be >= 1, got {n}")
+        self.sim = sim
+        self.n = n
+        self.timings = timings
+        self.order = order
+        self.trace = ChannelTrace(enabled=trace)
+        self.on_delivered = on_delivered
+        #: routing function; defaults to E-cube in the given order.  Any
+        #: non-E-cube function forfeits the deadlock-freedom guarantee
+        #: (see repro.simulator.deadlock).
+        self.route = route if route is not None else (lambda u, v: ecube_arcs(u, v, order))
+        self._channels: dict[Arc, Channel] = {}
+        self._next_uid = 0
+        self.worms: list[Worm] = []
+
+    # -- topology validation hooks (overridable: see repro.mesh) --------
+
+    def validate_node(self, node: int, what: str) -> None:
+        require_address(node, self.n, what)
+
+    def validate_arc(self, arc: Arc) -> None:
+        node, dim = arc
+        require_address(node, self.n, "channel tail")
+        if not 0 <= dim < self.n:
+            raise ValueError(f"channel dimension {dim} out of range")
+
+    # -- worm creation / injection ------------------------------------
+
+    def make_worm(self, src: int, dst: int, size: int, payload=None) -> Worm:
+        """Create (but do not inject) a worm for the route ``src -> dst``."""
+        self.validate_node(src, "worm source")
+        self.validate_node(dst, "worm destination")
+        if src == dst:
+            raise ValueError("a worm needs distinct endpoints")
+        if size < 1:
+            raise ValueError(f"message size must be >= 1 byte, got {size}")
+        worm = Worm(
+            uid=self._next_uid,
+            src=src,
+            dst=dst,
+            size=size,
+            arcs=self.route(src, dst),
+            payload=payload,
+        )
+        worm.t_created = self.sim.now
+        self._next_uid += 1
+        self.worms.append(worm)
+        return worm
+
+    def inject(self, worm: Worm) -> None:
+        """Start the worm's header into the network *now*."""
+        if worm.state is not WormState.PENDING:
+            raise ValueError(f"worm {worm.uid} already injected")
+        worm.state = WormState.INJECTING
+        worm.t_injected = self.sim.now
+        self._advance(worm)
+
+    def channel(self, arc: Arc) -> Channel:
+        ch = self._channels.get(arc)
+        if ch is None:
+            self.validate_arc(arc)
+            ch = self._channels[arc] = Channel(arc)
+        return ch
+
+    # -- header progression -------------------------------------------
+
+    def _advance(self, worm: Worm) -> None:
+        """Try to move the header across its next channel."""
+        if worm.hop == worm.hops:
+            # header at the destination router; the body pipelines in
+            self.sim.schedule(worm.size * self.timings.t_byte, self._deliver, worm)
+            return
+        ch = self.channel(worm.arcs[worm.hop])
+        if ch.busy:
+            worm.mark_blocked(self.sim.now)
+            ch.queue.append(worm)
+        else:
+            self._occupy(worm, ch)
+
+    def _occupy(self, worm: Worm, ch: Channel) -> None:
+        ch.occupied_by = worm
+        worm.held += 1
+        self.trace.occupy(ch.arc, worm.uid, self.sim.now)
+        self.sim.schedule(self.timings.t_hop, self._header_crossed, worm)
+
+    def _header_crossed(self, worm: Worm) -> None:
+        worm.hop += 1
+        self._advance(worm)
+
+    def _deliver(self, worm: Worm) -> None:
+        worm.state = WormState.DELIVERED
+        worm.t_delivered = self.sim.now
+        # tail has drained: release every held channel, waking waiters
+        for arc in worm.arcs[: worm.held]:
+            ch = self.channel(arc)
+            assert ch.occupied_by is worm
+            ch.occupied_by = None
+            self.trace.release(arc, worm.uid, self.sim.now)
+            if ch.queue:
+                nxt = ch.queue.popleft()
+                nxt.mark_unblocked(self.sim.now)
+                self._occupy(nxt, ch)
+        if self.on_delivered is not None:
+            self.on_delivered(worm)
+
+    # -- instrumentation ----------------------------------------------
+
+    @property
+    def total_blocked_time(self) -> float:
+        """Sum of header blocking time across all worms."""
+        return sum(w.blocked_time for w in self.worms)
+
+    def assert_quiescent(self) -> None:
+        """After a run: every worm delivered, every channel free."""
+        for w in self.worms:
+            if w.state not in (WormState.DELIVERED, WormState.RECEIVED):
+                raise AssertionError(f"worm {w.uid} ({w.src}->{w.dst}) stuck in {w.state}")
+        for ch in self._channels.values():
+            if ch.busy or ch.queue:
+                raise AssertionError(f"channel {ch.arc} not quiescent")
+        self.trace.finish()

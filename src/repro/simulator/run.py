@@ -1,0 +1,132 @@
+"""High-level driver: execute a multicast tree on the simulator.
+
+This is the bridge between the abstract algorithm layer (a
+:class:`~repro.multicast.base.MulticastTree`) and the timed network
+model, and is what the delay experiments of Figures 11-14 run.
+
+The source node starts issuing its sends at ``t = 0``.  Every node
+that receives the message looks up its own forwarding responsibilities
+in the tree and issues them; per-destination *delay* is the time at
+which the destination CPU has fully received the message -- exactly the
+quantity the paper measures ("the delay between the sending of a
+multicast message and its receipt at the destination").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.multicast.base import MulticastTree
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.node import HostNode
+from repro.simulator.params import NCUBE2, Timings
+
+__all__ = ["MulticastResult", "simulate_multicast"]
+
+
+@dataclass(slots=True)
+class MulticastResult:
+    """Outcome of one simulated multicast."""
+
+    tree: MulticastTree
+    size: int
+    timings: Timings
+    ports: PortModel
+    delays: dict[int, float]
+    total_blocked_time: float
+    events: int
+    network: WormholeNetwork = field(repr=False)
+
+    @property
+    def max_delay(self) -> float:
+        """Maximum delay across destinations (Figures 12 and 14)."""
+        return max((self.delays[d] for d in self.tree.destinations), default=0.0)
+
+    @property
+    def avg_delay(self) -> float:
+        """Average delay across destinations (Figures 11 and 13)."""
+        dests = self.tree.destinations
+        return mean(self.delays[d] for d in dests) if dests else 0.0
+
+    @property
+    def completion_time(self) -> float:
+        """Time at which the last receiving CPU (destination or relay)
+        holds the message."""
+        return max(self.delays.values(), default=0.0)
+
+
+def simulate_multicast(
+    tree: MulticastTree,
+    size: int = 4096,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+    trace: bool = False,
+    max_events: int | None = 10_000_000,
+) -> MulticastResult:
+    """Run one multicast tree through the wormhole network model.
+
+    Args:
+        tree: who forwards to whom (any MulticastAlgorithm output, or a
+            hand-built tree).
+        size: message length in bytes (the paper uses 4096).
+        timings: cost model; ``STEP`` turns the run into a step-semantics
+            cross-check.
+        ports: injection-port model for every node.
+        trace: record channel occupancies for auditing.
+
+    Returns:
+        Per-destination delays plus blocking/trace instrumentation.
+    """
+    sim = Simulator()
+    limit = ports.limit(tree.n)
+
+    nodes: dict[int, HostNode] = {}
+    delays: dict[int, float] = {}
+
+    def on_receive(host: HostNode, worm: Worm) -> None:
+        delays[host.address] = sim.now
+        payload_sends = [
+            (s.dst, size, None) for s in tree.sends_from(host.address)
+        ]
+        if payload_sends:
+            host.submit_sends(payload_sends, sim.now)
+
+    def get_node(address: int) -> HostNode:
+        node = nodes.get(address)
+        if node is None:
+            node = nodes[address] = HostNode(network, address, limit, on_receive)
+        return node
+
+    def on_delivered(worm: Worm) -> None:
+        get_node(worm.src).release_port()
+        get_node(worm.dst).deliver(worm)
+
+    network = WormholeNetwork(
+        sim, tree.n, timings=timings, order=tree.order, trace=trace, on_delivered=on_delivered
+    )
+
+    source = get_node(tree.source)
+    source.submit_sends(
+        [(s.dst, size, None) for s in tree.sends_from(tree.source)], ready_time=0.0
+    )
+    sim.run(max_events=max_events)
+    network.assert_quiescent()
+
+    missing = tree.destinations - delays.keys()
+    if missing:
+        raise AssertionError(f"simulation ended with undelivered destinations: {sorted(missing)}")
+
+    return MulticastResult(
+        tree=tree,
+        size=size,
+        timings=timings,
+        ports=ports,
+        delays=delays,
+        total_blocked_time=network.total_blocked_time,
+        events=sim.events_processed,
+        network=network,
+    )

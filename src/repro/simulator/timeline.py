@@ -1,0 +1,69 @@
+"""ASCII timelines of channel occupancy.
+
+Turns a :class:`~repro.simulator.trace.ChannelTrace` into a Gantt-style
+text chart: one row per channel, time on the x-axis, each worm drawn
+with its own character.  Makes wormhole blocking *visible*: a worm
+queued behind another shows as a gap between its upstream and
+downstream channel tenures.
+"""
+
+from __future__ import annotations
+
+from repro.core.paths import Arc
+from repro.simulator.trace import ChannelTrace
+
+__all__ = ["render_timeline"]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _arc_label(arc: Arc, n: int) -> str:
+    node, dim = arc
+    return f"{node:0{n}b}.d{dim}"
+
+
+def render_timeline(
+    trace: ChannelTrace,
+    n: int,
+    width: int = 72,
+    horizon: float | None = None,
+) -> str:
+    """Render channel occupancy intervals as text.
+
+    Args:
+        trace: a finished trace (all channels released).
+        n: cube dimension (for address formatting).
+        width: characters across the time axis.
+        horizon: time range to draw (defaults to the last release).
+
+    Worms are labeled ``0-9a-zA-Z`` cyclically; the legend maps glyphs
+    back to worm uids.
+    """
+    recs = trace.records
+    if not recs:
+        return "(no channel activity)"
+    end = horizon if horizon is not None else max(r.t_end for r in recs)
+    if end <= 0:
+        return "(empty horizon)"
+
+    by_arc: dict[Arc, list] = {}
+    for r in recs:
+        by_arc.setdefault(r.arc, []).append(r)
+
+    label_w = max(len(_arc_label(a, n)) for a in by_arc)
+    lines = [f"channel occupancy, 0 .. {end:.1f} us"]
+    used_glyphs: dict[int, str] = {}
+    for arc in sorted(by_arc):
+        row = [" "] * width
+        for r in sorted(by_arc[arc], key=lambda r: r.t_start):
+            glyph = used_glyphs.setdefault(
+                r.worm_uid, _GLYPHS[r.worm_uid % len(_GLYPHS)]
+            )
+            c0 = min(width - 1, int(r.t_start / end * width))
+            c1 = min(width - 1, int(r.t_end / end * width))
+            for c in range(c0, c1 + 1):
+                row[c] = glyph
+        lines.append(f"{_arc_label(arc, n).rjust(label_w)} |{''.join(row)}|")
+    legend = "  ".join(f"{g}=worm{uid}" for uid, g in sorted(used_glyphs.items())[:12])
+    lines.append(f"{' ' * label_w}  {legend}")
+    return "\n".join(lines)

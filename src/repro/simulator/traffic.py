@@ -1,0 +1,163 @@
+"""Background traffic: multicast performance on a loaded network.
+
+The paper evaluates multicasts on an otherwise idle machine; a natural
+question (and the kind of study MultiSim was built for) is how the
+algorithms degrade when the network also carries unrelated point-to-
+point traffic.  This module injects a Poisson-like stream of random
+unicasts around a multicast and measures the slowdown.
+
+The random stream is generated up front from a seeded ``numpy``
+generator, so runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+import numpy as np
+
+from repro.multicast.base import MulticastTree
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.node import HostNode
+from repro.simulator.params import NCUBE2, Timings
+
+__all__ = ["LoadedResult", "simulate_multicast_under_load"]
+
+
+@dataclass(slots=True)
+class LoadedResult:
+    """Multicast delays in the presence of background unicasts."""
+
+    delays: dict[int, float]
+    avg_delay: float
+    max_delay: float
+    multicast_blocked_time: float
+    background_messages: int
+    background_mean_latency: float
+
+
+def simulate_multicast_under_load(
+    tree: MulticastTree,
+    size: int = 4096,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+    background_rate: float = 0.001,
+    background_size: int = 1024,
+    horizon: float = 20_000.0,
+    seed: int = 0,
+    max_events: int | None = 10_000_000,
+) -> LoadedResult:
+    """Run a multicast while random unicasts load the network.
+
+    Args:
+        background_rate: expected background messages per microsecond,
+            machine-wide (exponential inter-arrival times).
+        background_size: bytes per background message.
+        horizon: injection window for background traffic (us); the
+            multicast starts at ``horizon / 4`` so traffic is already
+            flowing.
+
+    Returns:
+        Multicast per-destination delays (measured from the multicast's
+        start time) and background statistics.
+    """
+    if background_rate < 0:
+        raise ValueError("background_rate must be >= 0")
+    sim = Simulator()
+    limit = ports.limit(tree.n)
+    rng = np.random.default_rng(seed)
+    n_nodes = 1 << tree.n
+    start_time = horizon / 4
+
+    nodes: dict[int, HostNode] = {}
+    delays: dict[int, float] = {}
+    mc_worm_uids: set[int] = set()
+    bg_latencies: list[float] = []
+
+    def on_receive(host: HostNode, worm: Worm) -> None:
+        if worm.uid in mc_worm_uids:
+            delays[host.address] = sim.now - start_time
+            sends = [(s.dst, size, "mc") for s in tree.sends_from(host.address)]
+            if sends:
+                submit_multicast(host, sends)
+        else:
+            bg_latencies.append(sim.now - worm.t_created)
+
+    def get_node(address: int) -> HostNode:
+        node = nodes.get(address)
+        if node is None:
+            node = nodes[address] = HostNode(network, address, limit, on_receive)
+        return node
+
+    def on_delivered(worm: Worm) -> None:
+        get_node(worm.src).release_port()
+        get_node(worm.dst).deliver(worm)
+
+    network = WormholeNetwork(
+        sim, tree.n, timings=timings, order=tree.order, on_delivered=on_delivered
+    )
+
+    def submit_multicast(host: HostNode, sends) -> None:
+        host.submit_sends(sends, sim.now)
+        # tag the worms as they are created: wrap make_worm once
+        # (worms are created inside HostNode._inject; intercept there)
+
+    # --- tag multicast worms by wrapping worm creation ------------------
+    original_make = network.make_worm
+
+    def make_worm(src: int, dst: int, wsize: int, payload=None) -> Worm:
+        worm = original_make(src, dst, wsize, payload)
+        if payload == "mc":
+            mc_worm_uids.add(worm.uid)
+        return worm
+
+    network.make_worm = make_worm  # type: ignore[method-assign]
+
+    # --- background stream ----------------------------------------------
+    bg_count = 0
+    if background_rate > 0:
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / background_rate))
+            if t >= horizon:
+                break
+            src = int(rng.integers(0, n_nodes))
+            dst = int(rng.integers(0, n_nodes - 1))
+            if dst >= src:
+                dst += 1
+            bg_count += 1
+
+            def fire(s=src, d=dst) -> None:
+                get_node(s).submit_sends([(d, background_size, "bg")], sim.now)
+
+            sim.schedule(t, fire)
+
+    # --- the multicast ----------------------------------------------------
+    def start_multicast() -> None:
+        host = get_node(tree.source)
+        sends = [(s.dst, size, "mc") for s in tree.sends_from(tree.source)]
+        if sends:
+            submit_multicast(host, sends)
+
+    sim.schedule(start_time, start_multicast)
+    sim.run(max_events=max_events)
+    network.assert_quiescent()
+
+    missing = tree.destinations - delays.keys()
+    if missing:
+        raise AssertionError(f"multicast never completed at: {sorted(missing)}")
+
+    mc_blocked = sum(w.blocked_time for w in network.worms if w.uid in mc_worm_uids)
+    dest_delays = [delays[d] for d in tree.destinations]
+    return LoadedResult(
+        delays=delays,
+        avg_delay=mean(dest_delays) if dest_delays else 0.0,
+        max_delay=max(dest_delays, default=0.0),
+        multicast_blocked_time=mc_blocked,
+        background_messages=bg_count,
+        background_mean_latency=mean(bg_latencies) if bg_latencies else 0.0,
+    )

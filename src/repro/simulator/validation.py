@@ -1,0 +1,102 @@
+"""Validation of the simulator against the analytical cost model.
+
+The paper leans on MultiSim having been *validated against an nCUBE-2*.
+We have no nCUBE-2, but the same discipline applies one level down: on
+contention-free workloads the discrete-event model must agree exactly
+with the closed-form wormhole cost model
+
+    delay(send) = t_setup + h * t_hop + L * t_byte + t_recv
+
+composed over the multicast tree's forwarding chains (each node issues
+its i-th send only after its own receive plus ``i`` setup slots).  This
+module computes that analytical prediction independently of the event
+simulator and reports the discrepancy; the test suite asserts it is
+zero (to float precision) for the contention-free algorithms, on any
+instance.  Any future change that breaks the event model's timing
+semantics trips these checks immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.addressing import hamming
+from repro.multicast.base import MulticastTree
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.simulator.params import NCUBE2, Timings
+from repro.simulator.run import simulate_multicast
+
+__all__ = ["ValidationReport", "predict_delays", "validate_against_model"]
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """Per-run comparison of simulated vs analytically predicted delays."""
+
+    max_abs_error: float
+    max_rel_error: float
+    destinations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.max_rel_error < 1e-9
+
+
+def predict_delays(
+    tree: MulticastTree,
+    size: int = 4096,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+) -> dict[int, float]:
+    """Closed-form per-destination delays, assuming no channel blocking.
+
+    Valid for algorithms whose sends from any one node depart on
+    distinct channels (Maxport, W-sort) under the all-port model; for
+    other algorithm/port combinations the event simulator may
+    legitimately exceed this bound, never undercut it.
+    """
+    limit = ports.limit(tree.n)
+    ready: dict[int, float] = {tree.source: 0.0}
+    delays: dict[int, float] = {}
+    # process sends in construction order: parents precede children
+    port_free: dict[int, list[float]] = {}
+    cpu_free: dict[int, float] = {}
+    for idx, send in enumerate(tree.sends):
+        if send.src not in ready:
+            raise ValueError("tree sends are not parent-before-child ordered")
+        r = ready[send.src]
+        cpu = max(cpu_free.get(send.src, 0.0), r) + timings.t_setup
+        cpu_free[send.src] = cpu
+        ports_list = port_free.setdefault(send.src, [0.0] * limit)
+        slot = min(range(limit), key=lambda i: ports_list[i])
+        inject = max(cpu, ports_list[slot])
+        h = hamming(send.src, send.dst)
+        delivered = inject + h * timings.t_hop + size * timings.t_byte
+        ports_list[slot] = delivered
+        received = delivered + timings.t_recv
+        delays[send.dst] = received
+        ready[send.dst] = received
+        del idx
+    return delays
+
+
+def validate_against_model(
+    tree: MulticastTree,
+    size: int = 4096,
+    timings: Timings = NCUBE2,
+    ports: PortModel = ALL_PORT,
+) -> ValidationReport:
+    """Run the event simulator and compare with :func:`predict_delays`."""
+    sim = simulate_multicast(tree, size, timings, ports)
+    pred = predict_delays(tree, size, timings, ports)
+    max_abs = 0.0
+    max_rel = 0.0
+    for dst, p in pred.items():
+        s = sim.delays[dst]
+        err = abs(s - p)
+        max_abs = max(max_abs, err)
+        if p > 0:
+            max_rel = max(max_rel, err / p)
+    return ValidationReport(
+        max_abs_error=max_abs, max_rel_error=max_rel, destinations=len(pred)
+    )

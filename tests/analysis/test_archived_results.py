@@ -1,0 +1,50 @@
+"""Validation of archived full-parity results.
+
+The paper-parity sweeps (REPRO_FULL) archive their tables under
+``benchmarks/results/full/``; these tests re-validate those artifacts
+against the shape criteria without re-running the sweeps, so a stale or
+regressed archive is caught by the plain test suite.  Skipped when the
+archive has not been generated yet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.shapes import FIGURE_CRITERIA, check_figure
+from repro.analysis.tables import Table
+
+FULL_DIR = Path(__file__).parent.parent.parent / "benchmarks" / "results" / "full"
+
+
+def load(fig_id: str) -> Table:
+    path = FULL_DIR / f"{fig_id}.txt"
+    if not path.exists():
+        pytest.skip(f"no archived full results for {fig_id} (run REPRO_FULL benches)")
+    return Table.parse(path.read_text())
+
+
+@pytest.mark.parametrize("fig_id", sorted(FIGURE_CRITERIA))
+def test_archived_figure_passes_shape_criteria(fig_id):
+    table = load(fig_id)
+    for c in check_figure(fig_id, table):
+        assert c.passed, f"{fig_id}: {c.claim} -- {c.detail}"
+
+
+def test_archived_fig9_uses_paper_parameters():
+    table = load("fig9")
+    assert "100 random sets" in table.title
+
+
+def test_archived_fig13_uses_paper_parameters():
+    table = load("fig13")
+    assert "100 sets" in table.title
+    assert max(table.x_values) == 1023
+
+
+def test_archived_tables_parse_cleanly():
+    for path in sorted(FULL_DIR.glob("*.txt")) if FULL_DIR.exists() else []:
+        table = Table.parse(path.read_text())
+        assert table.x_values, path.name

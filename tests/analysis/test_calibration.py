@@ -1,0 +1,77 @@
+"""Tests for timing-model calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import fit_timings, measure_unicast_samples
+from repro.simulator.params import NCUBE2, Timings
+
+
+class TestFitTimings:
+    def test_exact_recovery_from_synthetic(self):
+        t_sw, t_hop, t_byte = 160.0, 2.0, 0.45
+        samples = [
+            (s, h, t_sw + h * t_hop + s * t_byte)
+            for s in (64, 512, 4096)
+            for h in (1, 3, 5)
+        ]
+        fit = fit_timings(samples)
+        assert fit.t_software == pytest.approx(t_sw)
+        assert fit.t_hop == pytest.approx(t_hop)
+        assert fit.t_byte == pytest.approx(t_byte)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-6)
+
+    def test_roundtrip_through_simulator(self):
+        """Measure the simulator, fit, recover the simulator's constants."""
+        samples = measure_unicast_samples(6, NCUBE2)
+        fit = fit_timings(samples)
+        assert fit.t_software == pytest.approx(NCUBE2.t_setup + NCUBE2.t_recv, rel=1e-6)
+        assert fit.t_hop == pytest.approx(NCUBE2.t_hop, rel=1e-6)
+        assert fit.t_byte == pytest.approx(NCUBE2.t_byte, rel=1e-6)
+
+    def test_to_timings_split(self):
+        fit = fit_timings(
+            [(64, 1, 100.0), (64, 2, 101.0), (512, 1, 148.0), (512, 2, 149.0)]
+        )
+        t = fit.to_timings(recv_fraction=0.25)
+        assert t.t_recv == pytest.approx(fit.t_software * 0.25)
+        assert t.t_setup == pytest.approx(fit.t_software * 0.75)
+        with pytest.raises(ValueError):
+            fit.to_timings(recv_fraction=2.0)
+
+    def test_insufficient_samples(self):
+        with pytest.raises(ValueError):
+            fit_timings([(64, 1, 100.0), (64, 2, 101.0)])
+
+    def test_degenerate_samples(self):
+        with pytest.raises(ValueError):
+            fit_timings([(64, 1, 1.0), (64, 1, 2.0), (64, 1, 3.0)])
+        with pytest.raises(ValueError):
+            fit_timings([(64, 1, 1.0), (128, 1, 2.0), (256, 1, 3.0)])
+
+    def test_nonsense_samples_rejected(self):
+        # delays shrinking with size -> negative t_byte -> rejected
+        with pytest.raises(ValueError):
+            fit_timings(
+                [(64, 1, 300.0), (4096, 1, 10.0), (64, 3, 310.0), (4096, 3, 20.0)]
+            )
+
+    def test_noisy_fit_reports_residual(self):
+        base = [(s, h, 100.0 + 2.0 * h + 0.5 * s) for s in (64, 1024) for h in (1, 4)]
+        noisy = [(s, h, d + (1 if i % 2 else -1)) for i, (s, h, d) in enumerate(base)]
+        fit = fit_timings(noisy)
+        assert fit.residual_rms > 0
+
+
+class TestMeasureSamples:
+    def test_sample_grid(self):
+        samples = measure_unicast_samples(4, NCUBE2, sizes=(64, 128), max_hops=3)
+        assert len(samples) == 6
+        assert {h for _, h, _ in samples} == {1, 2, 3}
+
+    def test_measured_delay_matches_closed_form(self):
+        t = Timings(t_setup=10, t_recv=20, t_byte=1.0, t_hop=3.0)
+        samples = measure_unicast_samples(4, t, sizes=(100,), max_hops=2)
+        for size, h, d in samples:
+            assert d == pytest.approx(t.unicast_latency(size, h))

@@ -1,0 +1,63 @@
+"""Tests for static channel-load analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.analysis.load import channel_load, load_summary
+from repro.multicast import Combine, Maxport, UCube, WSort
+from repro.multicast.maxport import MaxportSubcube
+from tests.conftest import multicast_cases
+
+FIG3_DESTS = [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+
+
+class TestChannelLoad:
+    def test_empty_tree(self):
+        tree = UCube().build_tree(3, 0, [])
+        assert channel_load(tree) == {}
+        s = load_summary(tree)
+        assert s.max_multiplicity == 0 and s.distinct_channels == 0
+
+    def test_total_equals_hops(self):
+        tree = UCube().build_tree(4, 0, FIG3_DESTS)
+        assert load_summary(tree).total_traversals == tree.total_hops()
+
+    def test_fig3_ucube_reuses_channels(self):
+        """The Fig. 3(d) conflict shows up statically: channel
+        (0111, d3) carries two unicasts."""
+        tree = UCube().build_tree(4, 0, FIG3_DESTS)
+        load = channel_load(tree)
+        assert load[(0b0111, 3)] == 2
+        assert load_summary(tree).max_multiplicity >= 2
+
+    @given(case=multicast_cases())
+    def test_maxport_wsort_globally_arc_disjoint(self, case):
+        """Maxport and W-sort trees use every channel at most once --
+        the structural form of their zero-blocking guarantee."""
+        n, source, dests = case
+        for alg in (Maxport(), MaxportSubcube(), WSort()):
+            tree = alg.build_tree(n, source, dests)
+            assert load_summary(tree).max_multiplicity <= 1
+
+    @given(case=multicast_cases(max_n=5))
+    def test_mean_at_most_max(self, case):
+        n, source, dests = case
+        for alg in (UCube(), Combine(), WSort()):
+            s = load_summary(alg.build_tree(n, source, dests))
+            if s.distinct_channels:
+                assert 1 <= s.mean_multiplicity <= s.max_multiplicity
+
+    def test_ucube_heavier_than_wsort_on_average(self):
+        """Across random instances U-cube's worst channel is never
+        lighter than W-sort's."""
+        from repro.analysis.workloads import random_destination_sets
+
+        heavier = 0
+        for i, dests in enumerate(random_destination_sets(6, 20, 20, seed=91)):
+            u = load_summary(UCube().build_tree(6, 0, dests)).max_multiplicity
+            w = load_summary(WSort().build_tree(6, 0, dests)).max_multiplicity
+            assert w <= u
+            heavier += u > w
+        assert heavier > 0

@@ -1,0 +1,104 @@
+"""Tests for analysis statistics and ASCII plotting."""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.analysis.plot import ascii_plot
+from repro.analysis.stats import paired_improvement, summarize
+from repro.analysis.tables import Table
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(math.sqrt(5 / 3))
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.count == 4
+
+    def test_ci_contains_mean(self):
+        s = summarize([3.0, 4.0, 5.0, 6.0], confidence=0.99)
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0]
+        s90 = summarize(data, 0.90)
+        s99 = summarize(data, 0.99)
+        assert (s99.ci_high - s99.ci_low) > (s90.ci_high - s90.ci_low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=0.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_bounds(self, data):
+        s = summarize(data)
+        eps = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))  # fp accumulation slack
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+class TestPairedImprovement:
+    def test_perfect_improvement(self):
+        s = paired_improvement([10.0, 20.0], [5.0, 10.0])
+        assert s.mean == pytest.approx(0.5)
+
+    def test_no_improvement(self):
+        s = paired_improvement([10.0, 10.0], [10.0, 10.0])
+        assert s.mean == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_improvement([1.0], [1.0, 2.0])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            paired_improvement([0.0], [1.0])
+
+
+class TestAsciiPlot:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            "demo",
+            "m",
+            [1, 2, 4, 8],
+            {"ucube": [1.0, 2.0, 3.0, 4.0], "wsort": [1.0, 1.5, 2.0, 2.5]},
+        )
+
+    def test_contains_markers_and_legend(self, table):
+        out = ascii_plot(table)
+        assert "o=ucube" in out and "x=wsort" in out
+        assert "o" in out and "x" in out
+        assert "demo" in out
+
+    def test_extremes_labeled(self, table):
+        out = ascii_plot(table)
+        assert "4" in out and "1" in out
+
+    def test_size_validation(self, table):
+        with pytest.raises(ValueError):
+            ascii_plot(table, width=4)
+
+    def test_flat_series(self):
+        t = Table("flat", "m", [1, 2], {"a": [5.0, 5.0]})
+        out = ascii_plot(t)
+        assert "a=a" not in out  # legend formatted as marker=name
+        assert "o=a" in out
+
+    def test_single_point(self):
+        t = Table("pt", "m", [3], {"a": [2.0]})
+        assert "o=a" in ascii_plot(t)

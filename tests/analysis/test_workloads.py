@@ -1,0 +1,58 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.workloads import random_destination_sets
+
+
+class TestRandomDestinationSets:
+    def test_shape(self):
+        sets = random_destination_sets(5, 7, 10, seed=1)
+        assert len(sets) == 10
+        assert all(len(s) == 7 for s in sets)
+
+    def test_distinct_and_excludes_source(self):
+        for s in random_destination_sets(5, 20, 50, seed=2, source=3):
+            assert len(set(s)) == 20
+            assert 3 not in s
+            assert all(0 <= u < 32 for u in s)
+
+    def test_deterministic(self):
+        a = random_destination_sets(6, 10, 5, seed=42)
+        b = random_destination_sets(6, 10, 5, seed=42)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = random_destination_sets(6, 10, 5, seed=42)
+        b = random_destination_sets(6, 10, 5, seed=43)
+        assert a != b
+
+    def test_full_broadcast_set(self):
+        sets = random_destination_sets(4, 15, 3, seed=1)
+        assert all(sorted(s) == [u for u in range(16) if u != 0] for s in sets)
+
+    def test_m_too_large(self):
+        with pytest.raises(ValueError):
+            random_destination_sets(3, 8, 1, seed=1)
+
+    def test_m_zero(self):
+        with pytest.raises(ValueError):
+            random_destination_sets(3, 0, 1, seed=1)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            random_destination_sets(3, 1, 1, seed=1, source=8)
+
+    def test_sorted_output(self):
+        for s in random_destination_sets(6, 12, 5, seed=9):
+            assert s == sorted(s)
+
+    def test_coverage_over_many_draws(self):
+        """Every non-source node should appear eventually (uniformity
+        smoke test)."""
+        seen: set[int] = set()
+        for s in random_destination_sets(4, 5, 60, seed=3):
+            seen |= set(s)
+        assert seen == set(range(1, 16))

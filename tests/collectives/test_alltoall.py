@@ -1,0 +1,92 @@
+"""Tests for the complete exchange (all-to-all personalized)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import HypercubeCollectives, simulate_comm
+from repro.collectives.alltoall import (
+    _block_id,
+    alltoall_direct_graph,
+    alltoall_graph,
+)
+from repro.simulator.params import NCUBE2
+
+
+def expected_blocks(u: int, n: int) -> frozenset[int]:
+    """After a complete exchange node u holds every block destined to it
+    plus its own originals that stayed (dst == u entry)."""
+    return frozenset(_block_id(src, u, n) for src in range(1 << n))
+
+
+class TestDimensionExchange:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_every_block_arrives(self, n):
+        res = simulate_comm(alltoall_graph(n, 16))
+        for u in range(1 << n):
+            assert expected_blocks(u, n) <= res.final_blocks[u]
+
+    def test_send_count(self):
+        n = 3
+        g = alltoall_graph(n, 8)
+        assert len(g.sends) == n * (1 << n)
+
+    def test_round_payloads_constant(self):
+        """Each dimension-exchange round moves exactly N/2 blocks/node."""
+        n, block = 3, 8
+        g = alltoall_graph(n, block)
+        assert {s.size for s in g.sends} == {block * (1 << (n - 1))}
+
+    def test_no_channel_blocking(self):
+        res = simulate_comm(alltoall_graph(3, 64), timings=NCUBE2)
+        assert res.total_blocked_time == 0.0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            alltoall_graph(3, 0)
+
+
+class TestDirectExchange:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_every_block_arrives(self, n):
+        res = simulate_comm(alltoall_direct_graph(n, 16))
+        for u in range(1 << n):
+            assert expected_blocks(u, n) <= res.final_blocks[u]
+
+    def test_send_count_and_sizes(self):
+        n, block = 3, 8
+        g = alltoall_direct_graph(n, block)
+        assert len(g.sends) == ((1 << n) - 1) * (1 << n)
+        assert {s.size for s in g.sends} == {block}
+
+    def test_rounds_are_matchings(self):
+        """Within each round the (src, dst) pairs form a perfect
+        matching under XOR."""
+        n = 3
+        g = alltoall_direct_graph(n, 8)
+        per_round = 1 << n
+        for r in range((1 << n) - 1):
+            round_sends = g.sends[r * per_round : (r + 1) * per_round]
+            assert {s.src for s in round_sends} == set(range(1 << n))
+            assert {s.dst for s in round_sends} == set(range(1 << n))
+            assert all(s.dst == s.src ^ (r + 1) for s in round_sends)
+
+
+class TestTradeoff:
+    def test_traffic_vs_rounds(self):
+        """Dimension exchange sends fewer, bigger messages; direct sends
+        minimal bytes.  For large blocks the direct schedule moves
+        strictly fewer bytes."""
+        n, block = 4, 1024
+        dim = alltoall_graph(n, block)
+        direct = alltoall_direct_graph(n, block)
+        assert direct.total_bytes < dim.total_bytes
+        # dim exchange: n rounds * N nodes * (N/2 blocks); direct: N(N-1)
+        assert dim.total_bytes == n * (1 << n) * (1 << (n - 1)) * block
+        assert direct.total_bytes == (1 << n) * ((1 << n) - 1) * block
+
+    def test_facade(self):
+        comm = HypercubeCollectives(3)
+        a = comm.alltoall(block_size=64)
+        b = comm.alltoall(block_size=64, direct=True)
+        assert a.completion_time > 0 and b.completion_time > 0

@@ -1,0 +1,56 @@
+"""Tests for the facade's extended broadcast/pipelining methods and the
+Table JSON round-trip / CLI --json path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.cli import main
+from repro.collectives import HypercubeCollectives
+
+
+class TestFacadeExtras:
+    def test_esbt_broadcast(self):
+        comm = HypercubeCollectives(5)
+        big = 65536
+        plain = comm.broadcast(0, big)
+        esbt = comm.broadcast_esbt(0, big)
+        assert esbt.completion_time < plain.completion_time
+        assert esbt.total_blocked_time == 0.0
+
+    def test_pipelined_multicast_auto_segments(self):
+        comm = HypercubeCollectives(5, algorithm="ucube")
+        dests = [1, 3, 7, 15, 31]
+        plain = comm.multicast(0, dests, 32768)
+        piped = comm.multicast_pipelined(0, dests, 32768)
+        assert piped.completion_time < plain.completion_time
+
+    def test_pipelined_multicast_explicit_segments(self):
+        comm = HypercubeCollectives(4)
+        res = comm.multicast_pipelined(0, [1, 3, 5], 1024, segments=2)
+        for d in (1, 3, 5):
+            assert res.final_blocks[d] == frozenset({0, 1})
+
+
+class TestTableJson:
+    def test_roundtrip(self):
+        t = Table("T", "m", [1, 2], {"a": [1.5, 2.5]}, notes=["n"])
+        back = Table.from_json(t.to_json())
+        assert back.title == "T"
+        assert back.x_values == [1, 2]
+        assert back.columns == {"a": [1.5, 2.5]}
+        assert back.notes == ["n"]
+
+    def test_valid_json(self):
+        t = Table("T", "m", [1], {"a": [1.0]})
+        data = json.loads(t.to_json())
+        assert data["x_label"] == "m"
+
+    def test_cli_json_output(self, capsys):
+        rc = main(["experiment", "ablation-wsort", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "wsort" in data["columns"]

@@ -1,0 +1,73 @@
+"""Tests for the SBT broadcast reference and its equivalence with
+U-cube's full broadcast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import simulate_comm
+from repro.collectives.broadcast import sbt_broadcast_graph
+from repro.multicast import ALL_PORT, ONE_PORT, UCube
+from repro.simulator import NCUBE2, STEP, simulate_multicast
+
+
+class TestSBTStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_reaches_everyone(self, n):
+        res = simulate_comm(sbt_broadcast_graph(n, 0, 64))
+        assert set(res.node_done_at) == set(range(1 << n)) - {0}
+
+    def test_send_count(self):
+        g = sbt_broadcast_graph(4, 0, 64)
+        assert len(g.sends) == 15
+
+    def test_all_single_hop(self):
+        from repro.core.addressing import hamming
+
+        g = sbt_broadcast_graph(4, 9, 64)
+        assert all(hamming(s.src, s.dst) == 1 for s in g.sends)
+
+    def test_nonzero_root(self):
+        res = simulate_comm(sbt_broadcast_graph(3, 5, 64))
+        assert set(res.node_done_at) == set(range(8)) - {5}
+
+    def test_rounds_unit_cost(self):
+        res = simulate_comm(sbt_broadcast_graph(4, 0, 1), timings=STEP)
+        assert res.completion_time == pytest.approx(4.0)
+
+    def test_contention_free(self):
+        res = simulate_comm(sbt_broadcast_graph(5, 0, 4096), timings=NCUBE2)
+        assert res.total_blocked_time == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sbt_broadcast_graph(3, 8, 64)
+        with pytest.raises(ValueError):
+            sbt_broadcast_graph(3, 0, 0)
+
+
+class TestEquivalenceWithUCube:
+    """On a full broadcast U-cube *is* the binomial tree."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_same_completion_time_one_port_structure(self, n):
+        dests = [u for u in range(1 << n) if u != 0]
+        tree = UCube().build_tree(n, 0, dests)
+        mc = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        sbt = simulate_comm(sbt_broadcast_graph(n, 0, 4096), NCUBE2, ALL_PORT)
+        assert mc.completion_time == pytest.approx(sbt.completion_time)
+
+    def test_same_tree_edges(self):
+        n = 4
+        dests = [u for u in range(1 << n) if u != 0]
+        tree = UCube().build_tree(n, 0, dests)
+        g = sbt_broadcast_graph(n, 0, 64)
+        assert sorted((s.src, s.dst) for s in tree.sends) == sorted(
+            (s.src, s.dst) for s in g.sends
+        )
+
+    def test_one_port_broadcast_steps(self):
+        n = 4
+        dests = [u for u in range(1 << n) if u != 0]
+        steps = UCube().schedule(n, 0, dests, ONE_PORT).max_step
+        assert steps == n

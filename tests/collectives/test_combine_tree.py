@@ -1,0 +1,96 @@
+"""Tests for combining (reduction/gather) over reversed multicast trees,
+including the asymmetry finding documented in the module."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.collectives.combine_tree import combining_graph, gather_subset, reduce_subset
+from repro.collectives.graph import simulate_comm
+from repro.multicast import Maxport, UCube, WSort
+from repro.simulator.params import NCUBE2
+from tests.conftest import multicast_cases
+
+
+class TestCombiningGraph:
+    def test_structure(self):
+        tree = UCube().build_tree(4, 0, [1, 3, 5, 7])
+        g = combining_graph(tree, size=64)
+        # every non-root tree node sends exactly once
+        assert len(g.sends) == 4
+        assert all(s.size == 64 for s in g.sends)
+
+    def test_grow_payload_sizes(self):
+        tree = UCube().build_tree(4, 0, [1, 3, 5, 7])
+        g = combining_graph(tree, grow_payload=True, block_size=10)
+        # the sends into the root together carry all four blocks
+        into_root = [s for s in g.sends if s.dst == 0]
+        assert sum(len(s.blocks) for s in into_root) == 4
+        for s in g.sends:
+            assert s.size == 10 * len(s.blocks)
+
+    def test_root_collects_all_blocks(self):
+        tree = UCube().build_tree(4, 2, [0, 5, 9, 14, 15])
+        res = simulate_comm(combining_graph(tree, grow_payload=True, block_size=8))
+        assert res.final_blocks[2] >= {0, 5, 9, 14, 15}
+
+    @given(case=multicast_cases(max_n=5))
+    def test_dependencies_respected(self, case):
+        n, source, dests = case
+        tree = UCube().build_tree(n, source, dests)
+        g = combining_graph(tree, size=128)
+        res = simulate_comm(g)
+        for s in g.sends:
+            for d in s.deps:
+                assert res.send_received_at[s.sid] > res.send_received_at[d]
+
+
+class TestReversalAsymmetry:
+    """The module's headline finding."""
+
+    @settings(max_examples=60)
+    @given(case=multicast_cases(max_n=6))
+    def test_reversed_ucube_contention_free(self, case):
+        n, source, dests = case
+        tree = UCube().build_tree(n, source, dests)
+        res = simulate_comm(combining_graph(tree, size=2048), NCUBE2)
+        assert res.total_blocked_time == 0.0
+
+    def test_reversed_wsort_can_block(self):
+        """Regression witness: a reversed W-sort tree with real channel
+        blocking (found by random search; see module docstring)."""
+        blocked = 0
+        for seed_dests in ([1, 2, 6, 9, 12, 14], [3, 5, 6, 10, 12], [1, 4, 6, 7, 11, 13, 14]):
+            tree = WSort().build_tree(4, 0, seed_dests)
+            res = simulate_comm(combining_graph(tree, size=2048), NCUBE2)
+            blocked += res.total_blocked_time > 0
+        tree5 = WSort().build_tree(5, 0, [1, 3, 6, 9, 13, 17, 22, 25, 28, 30])
+        blocked += simulate_comm(combining_graph(tree5, 2048), NCUBE2).total_blocked_time > 0
+        assert blocked > 0, "expected at least one blocking reversed W-sort instance"
+
+    def test_reversed_maxport_can_block(self):
+        found = False
+        for dests in ([1, 3, 6, 9, 13, 17, 22, 25, 28, 30], [5, 9, 11, 14, 21, 26, 29]):
+            tree = Maxport().build_tree(5, 0, dests)
+            res = simulate_comm(combining_graph(tree, size=2048), NCUBE2)
+            found = found or res.total_blocked_time > 0
+        assert found
+
+
+class TestSubsetOperations:
+    def test_reduce_subset(self):
+        res = reduce_subset(5, 3, [1, 7, 9, 20, 31], size=512)
+        assert res.total_blocked_time == 0.0
+        assert 3 in res.node_done_at
+
+    def test_gather_subset(self):
+        contributors = [1, 7, 9, 20, 31]
+        res = gather_subset(5, 3, contributors, block_size=64)
+        assert res.final_blocks[3] == frozenset(contributors)
+
+    @given(case=multicast_cases(max_n=5))
+    def test_gather_subset_complete(self, case):
+        n, root, contributors = case
+        res = gather_subset(n, root, contributors, block_size=16)
+        assert res.final_blocks[root] >= set(contributors)

@@ -1,0 +1,98 @@
+"""Tests for the nESBT optimal all-port broadcast (Johnsson & Ho [5])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives import simulate_comm
+from repro.collectives.broadcast import sbt_broadcast_graph
+from repro.collectives.esbt import esbt_broadcast_graph, esbt_trees
+from repro.core.addressing import delta, hamming
+from repro.multicast.ports import ALL_PORT, ONE_PORT
+from repro.simulator.params import NCUBE2
+
+
+def tree_arcs(parent_map):
+    return {(p, delta(p, c)) for c, p in parent_map.items()}
+
+
+class TestTrees:
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_pairwise_arc_disjoint(self, n):
+        trees = esbt_trees(n)
+        arcsets = [tree_arcs(t) for t in trees]
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert not arcsets[i] & arcsets[j], f"trees {i},{j} share a channel"
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_each_tree_spans_all_nonroot_nodes(self, n):
+        for t in esbt_trees(n):
+            assert set(t.keys()) == set(range(1, 1 << n))
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_edges_are_cube_edges_reaching_root(self, n):
+        for t in esbt_trees(n):
+            for c, p in t.items():
+                assert hamming(c, p) == 1
+            # every node walks up to 0 without cycles
+            for v in range(1, 1 << n):
+                cur, hops = v, 0
+                while cur != 0:
+                    cur = t[cur]
+                    hops += 1
+                    assert hops <= (1 << n)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            esbt_trees(0)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_everyone_gets_all_parts(self, n):
+        res = simulate_comm(esbt_broadcast_graph(n, 0, 4096))
+        for u in range(1, 1 << n):
+            assert res.final_blocks[u] == frozenset(range(n))
+
+    def test_nonzero_root(self):
+        res = simulate_comm(esbt_broadcast_graph(4, 9, 4096))
+        for u in range(16):
+            if u != 9:
+                assert res.final_blocks[u] == frozenset(range(4))
+
+    def test_zero_contention(self):
+        """Arc-disjoint trees: no worm ever blocks, even all at once."""
+        res = simulate_comm(esbt_broadcast_graph(5, 0, 8192), NCUBE2, ALL_PORT)
+        assert res.total_blocked_time == 0.0
+
+    def test_bandwidth_speedup_over_sbt(self):
+        """For bandwidth-dominated messages nESBT approaches n times the
+        single-tree broadcast rate (paper [5]'s headline result)."""
+        n, size = 5, 65536
+        sbt = simulate_comm(sbt_broadcast_graph(n, 0, size), NCUBE2, ALL_PORT)
+        esbt = simulate_comm(esbt_broadcast_graph(n, 0, size), NCUBE2, ALL_PORT)
+        speedup = sbt.completion_time / esbt.completion_time
+        assert speedup > n / 2  # comfortably past half the ideal factor
+
+    def test_no_advantage_for_tiny_messages(self):
+        """Startup-dominated regime: splitting only multiplies the
+        per-message overhead."""
+        n = 4
+        sbt = simulate_comm(sbt_broadcast_graph(n, 0, 8), NCUBE2, ALL_PORT)
+        esbt = simulate_comm(esbt_broadcast_graph(n, 0, 8), NCUBE2, ALL_PORT)
+        assert esbt.completion_time >= sbt.completion_time * 0.9
+
+    def test_one_port_loses_the_advantage(self):
+        """The nESBT gain *requires* all ports; on one-port hardware the
+        n trees serialize at the root."""
+        n, size = 4, 32768
+        allp = simulate_comm(esbt_broadcast_graph(n, 0, size), NCUBE2, ALL_PORT)
+        onep = simulate_comm(esbt_broadcast_graph(n, 0, size), NCUBE2, ONE_PORT)
+        assert onep.completion_time > allp.completion_time * 1.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            esbt_broadcast_graph(3, 8, 64)
+        with pytest.raises(ValueError):
+            esbt_broadcast_graph(3, 0, 0)

@@ -1,0 +1,119 @@
+"""Tests for CommGraph construction and timed execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives.graph import CommGraph, simulate_comm
+from repro.multicast.ports import ALL_PORT, ONE_PORT
+from repro.simulator.params import NCUBE2, STEP, Timings
+
+
+class TestGraphConstruction:
+    def test_add_returns_sequential_ids(self):
+        g = CommGraph(3)
+        assert g.add(0, 1, 10) == 0
+        assert g.add(1, 3, 10, deps=[0]) == 1
+
+    def test_dependency_must_exist(self):
+        g = CommGraph(3)
+        with pytest.raises(ValueError):
+            g.add(0, 1, 10, deps=[5])
+
+    def test_dependency_must_deliver_to_sender(self):
+        g = CommGraph(3)
+        g.add(0, 1, 10)
+        with pytest.raises(ValueError):
+            g.add(2, 3, 10, deps=[0])  # send 0 delivers to 1, not 2
+
+    def test_total_bytes(self):
+        g = CommGraph(3)
+        g.add(0, 1, 10)
+        g.add(0, 2, 32)
+        assert g.total_bytes == 42
+
+    def test_validate_block_causality(self):
+        g = CommGraph(3)
+        g.seed(0, [7])
+        g.add(0, 1, 10, blocks=[7])
+        g.validate()
+        bad = CommGraph(3)
+        bad.add(0, 1, 10, blocks=[7])  # 0 never held block 7
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validate_blocks_through_deps(self):
+        g = CommGraph(3)
+        g.seed(0, [1, 2])
+        s0 = g.add(0, 1, 10, blocks=[1, 2])
+        g.add(1, 3, 10, deps=[s0], blocks=[2])
+        g.validate()
+
+
+class TestExecution:
+    def test_chain_timing(self):
+        """0 -> 1 -> 3 with unit costs: second send delivers at 2."""
+        g = CommGraph(3)
+        s0 = g.add(0, 1, 1)
+        s1 = g.add(1, 3, 1, deps=[s0])
+        res = simulate_comm(g, timings=STEP, ports=ALL_PORT)
+        assert res.send_received_at[s0] == pytest.approx(1.0)
+        assert res.send_received_at[s1] == pytest.approx(2.0)
+        assert res.completion_time == pytest.approx(2.0)
+
+    def test_multi_dependency_waits_for_all(self):
+        """A send with two deps fires only after the slower one."""
+        g = CommGraph(3)
+        a = g.add(0, 3, 1)  # 2 hops, still 1 time unit
+        b = g.add(1, 3, 1)
+        c = g.add(3, 7, 1, deps=[a, b])
+        res = simulate_comm(g, timings=STEP)
+        assert res.send_received_at[c] >= max(
+            res.send_received_at[a], res.send_received_at[b]
+        ) + 1.0 - 1e-9
+
+    def test_independent_sends_parallel(self):
+        g = CommGraph(3)
+        for d in range(3):
+            g.add(0, 1 << d, 1)
+        res = simulate_comm(g, timings=STEP, ports=ALL_PORT)
+        assert res.completion_time == pytest.approx(1.0)
+
+    def test_one_port_serializes(self):
+        g = CommGraph(3)
+        for d in range(3):
+            g.add(0, 1 << d, 1)
+        res = simulate_comm(g, timings=STEP, ports=ONE_PORT)
+        assert res.completion_time == pytest.approx(3.0)
+
+    def test_block_tracking(self):
+        g = CommGraph(3)
+        g.seed(0, [10, 11])
+        s0 = g.add(0, 1, 8, blocks=[10, 11])
+        g.add(1, 3, 4, deps=[s0], blocks=[11])
+        res = simulate_comm(g)
+        assert res.final_blocks[1] == frozenset({10, 11})
+        assert res.final_blocks[3] == frozenset({11})
+
+    def test_sizes_affect_timing(self):
+        t = Timings(t_setup=0, t_recv=0, t_byte=1.0, t_hop=0)
+        g = CommGraph(3)
+        g.add(0, 1, 100)
+        res = simulate_comm(g, timings=t)
+        assert res.completion_time == pytest.approx(100.0)
+
+    def test_deterministic(self):
+        g = CommGraph(4)
+        prev = []
+        for d in range(4):
+            prev.append(g.add(0, 1 << d, 64))
+        for d in range(3):
+            g.add(1 << d, (1 << d) | 8, 64, deps=[prev[d]])
+        r1 = simulate_comm(g, NCUBE2)
+        r2 = simulate_comm(g, NCUBE2)
+        assert r1.send_received_at == r2.send_received_at
+
+    def test_empty_graph(self):
+        res = simulate_comm(CommGraph(3))
+        assert res.completion_time == 0.0
+        assert res.events == 0

@@ -1,0 +1,180 @@
+"""Tests for the collective operations: correctness of data movement
+and of the timing structure."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.collectives import (
+    HypercubeCollectives,
+    allgather_graph,
+    allreduce_graph,
+    barrier_graph,
+    gather_graph,
+    reduce_graph,
+    scatter_graph,
+    simulate_comm,
+)
+from repro.multicast.ports import ALL_PORT, ONE_PORT
+from repro.simulator.params import NCUBE2, STEP, Timings
+
+dims = st.integers(1, 5)
+
+
+class TestScatter:
+    @given(n=dims, data=st.data())
+    def test_every_node_gets_its_block(self, n, data):
+        root = data.draw(st.integers(0, (1 << n) - 1))
+        g = scatter_graph(n, root, block_size=16)
+        res = simulate_comm(g)
+        for u in range(1 << n):
+            assert u in res.final_blocks.get(u, frozenset()) or u == root
+
+    def test_total_traffic(self):
+        """Recursive halving moves exactly (N - 1) * block bytes...
+        counted per block-distance: each block travels along the
+        binomial tree, so total bytes = block * sum over subtrees."""
+        n, block = 4, 8
+        g = scatter_graph(n, 0, block)
+        # every node except the root receives exactly one message
+        assert len(g.sends) == (1 << n) - 1
+        # each send carries subcube-size blocks
+        sizes = sorted(s.size for s in g.sends)
+        assert sizes[-1] == block * (1 << (n - 1))
+        assert sizes[0] == block
+
+    def test_blocks_match_subcubes(self):
+        g = scatter_graph(3, 0, 4)
+        for s in g.sends:
+            assert s.dst in s.blocks
+            assert s.size == 4 * len(s.blocks)
+
+    def test_critical_path_halving(self):
+        """With pure bandwidth costs, scatter time ~ block * (N - 1) *
+        t_byte (the halving series), far less than N sends of the whole
+        payload."""
+        t = Timings(t_setup=0, t_recv=0, t_byte=1.0, t_hop=0)
+        n, block = 4, 100
+        res = simulate_comm(scatter_graph(n, 0, block), timings=t, ports=ALL_PORT)
+        expected = block * ((1 << n) - 1)  # 800+400+200+100 on the root's path
+        assert res.completion_time == pytest.approx(expected)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            scatter_graph(3, 9, 16)
+        with pytest.raises(ValueError):
+            scatter_graph(3, 0, 0)
+
+
+class TestGather:
+    @given(n=dims, data=st.data())
+    def test_root_collects_everything(self, n, data):
+        root = data.draw(st.integers(0, (1 << n) - 1))
+        res = simulate_comm(gather_graph(n, root, 16))
+        assert res.final_blocks[root] == frozenset(range(1 << n))
+
+    def test_mirror_of_scatter(self):
+        """Gather is scatter reversed: same completion time under the
+        symmetric cost model."""
+        s = simulate_comm(scatter_graph(4, 0, 64))
+        gth = simulate_comm(gather_graph(4, 0, 64))
+        assert gth.completion_time == pytest.approx(s.completion_time)
+
+    def test_send_count(self):
+        assert len(gather_graph(4, 5, 8).sends) == 15
+
+
+class TestAllgather:
+    @given(n=st.integers(1, 4))
+    def test_everyone_has_everything(self, n):
+        res = simulate_comm(allgather_graph(n, 8))
+        for u in range(1 << n):
+            assert res.final_blocks[u] == frozenset(range(1 << n))
+
+    def test_send_count_and_sizes(self):
+        n, block = 3, 10
+        g = allgather_graph(n, block)
+        assert len(g.sends) == n * (1 << n)
+        # round d carries 2^d blocks
+        sizes = sorted({s.size for s in g.sends})
+        assert sizes == [10, 20, 40]
+
+    def test_no_contention(self):
+        """Dimension exchanges use opposite-direction channel pairs:
+        zero blocking."""
+        res = simulate_comm(allgather_graph(4, 32), timings=NCUBE2, ports=ALL_PORT)
+        assert res.total_blocked_time == 0.0
+
+
+class TestReduceAllreduceBarrier:
+    @given(n=dims, data=st.data())
+    def test_reduce_structure(self, n, data):
+        root = data.draw(st.integers(0, (1 << n) - 1))
+        g = reduce_graph(n, root, 128)
+        assert len(g.sends) == (1 << n) - 1
+        # every node except the root sends exactly once
+        senders = [s.src for s in g.sends]
+        assert sorted(senders) == sorted(set(range(1 << n)) - {root})
+        res = simulate_comm(g)
+        assert root in res.node_done_at
+
+    def test_reduce_constant_size(self):
+        g = reduce_graph(4, 0, 77)
+        assert {s.size for s in g.sends} == {77}
+
+    def test_allreduce_rounds(self):
+        n = 3
+        g = allreduce_graph(n, 1)
+        assert len(g.sends) == n * (1 << n)
+        res = simulate_comm(g, timings=STEP)
+        # unit-cost recursive doubling: n rounds
+        assert res.completion_time == pytest.approx(n)
+
+    def test_allreduce_all_finish_together(self):
+        res = simulate_comm(allreduce_graph(3, 64), timings=STEP)
+        times = {res.node_done_at[u] for u in range(8)}
+        assert len(times) == 1
+
+    def test_barrier_is_tiny_allreduce(self):
+        g = barrier_graph(4)
+        assert {s.size for s in g.sends} == {1}
+
+    def test_reduce_faster_than_allreduce_plus_nothing(self):
+        """reduce <= allreduce in completion time (half the rounds'
+        participants)."""
+        r = simulate_comm(reduce_graph(4, 0, 4096)).completion_time
+        ar = simulate_comm(allreduce_graph(4, 4096)).completion_time
+        assert r <= ar + 1e-9
+
+
+class TestFacade:
+    def test_size(self):
+        assert HypercubeCollectives(5).size == 32
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HypercubeCollectives(0)
+
+    def test_multicast_uses_configured_algorithm(self):
+        comm = HypercubeCollectives(4, algorithm="wsort")
+        r = comm.multicast(0, [1, 3, 5, 7, 11, 12, 14, 15], 4096)
+        assert r.total_blocked_time == 0.0
+
+    def test_broadcast_reaches_all(self):
+        comm = HypercubeCollectives(3)
+        r = comm.broadcast(2, 256)
+        assert set(r.delays) == set(range(8)) - {2}
+
+    def test_one_port_slower(self):
+        fast = HypercubeCollectives(4, ports=ALL_PORT).broadcast(0, 4096)
+        slow = HypercubeCollectives(4, ports=ONE_PORT).broadcast(0, 4096)
+        assert fast.avg_delay < slow.avg_delay
+
+    def test_barrier_completion(self):
+        assert HypercubeCollectives(3).barrier().completion_time > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            HypercubeCollectives(3, algorithm="nope")

@@ -1,0 +1,119 @@
+"""Tests for pipelined (segmented) multicast."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.collectives.graph import simulate_comm
+from repro.collectives.pipelined import optimal_segments, pipelined_multicast_graph
+from repro.multicast import UCube, WSort
+from repro.simulator import NCUBE2, simulate_multicast
+from tests.conftest import multicast_cases
+
+
+def deep_tree():
+    """A deliberately deep tree: U-cube chain in a 5-cube."""
+    return UCube().build_tree(5, 0, [1, 3, 7, 15, 31])
+
+
+class TestGraphConstruction:
+    def test_send_count(self):
+        tree = WSort().build_tree(4, 0, [1, 3, 5, 9])
+        g = pipelined_multicast_graph(tree, size=4096, segments=4)
+        assert len(g.sends) == 4 * 4
+
+    def test_single_segment_is_plain_multicast(self):
+        tree = WSort().build_tree(4, 0, [1, 3, 5, 9])
+        g = pipelined_multicast_graph(tree, size=4096, segments=1)
+        res = simulate_comm(g, NCUBE2)
+        plain = simulate_multicast(tree, 4096, NCUBE2)
+        for d in tree.destinations:
+            assert res.node_done_at[d] == pytest.approx(plain.delays[d])
+
+    def test_validation(self):
+        tree = deep_tree()
+        with pytest.raises(ValueError):
+            pipelined_multicast_graph(tree, 0, 1)
+        with pytest.raises(ValueError):
+            pipelined_multicast_graph(tree, 4096, 0)
+        with pytest.raises(ValueError):
+            pipelined_multicast_graph(tree, 4, 8)
+
+    @given(case=multicast_cases(max_n=4))
+    def test_all_segments_delivered_everywhere(self, case):
+        n, source, dests = case
+        tree = WSort().build_tree(n, source, dests)
+        g = pipelined_multicast_graph(tree, size=256, segments=4)
+        res = simulate_comm(g, NCUBE2)
+        for d in dests:
+            assert res.final_blocks[d] == frozenset(range(4))
+
+
+class TestPipeliningEffect:
+    def test_speedup_on_deep_tree(self):
+        """Segmenting a bandwidth-dominated deep-chain multicast must
+        bring a solid speedup."""
+        tree = deep_tree()
+        size = 32768
+        plain = simulate_comm(pipelined_multicast_graph(tree, size, 1), NCUBE2)
+        piped = simulate_comm(pipelined_multicast_graph(tree, size, 8), NCUBE2)
+        assert piped.completion_time < plain.completion_time * 0.5
+
+    def test_no_benefit_for_tiny_messages(self):
+        tree = deep_tree()
+        plain = simulate_comm(pipelined_multicast_graph(tree, 64, 1), NCUBE2)
+        piped = simulate_comm(pipelined_multicast_graph(tree, 64, 8), NCUBE2)
+        assert piped.completion_time >= plain.completion_time
+
+    def test_diminishing_returns(self):
+        """Past the optimum, more segments start costing startups."""
+        tree = deep_tree()
+        size = 32768
+        times = {
+            k: simulate_comm(pipelined_multicast_graph(tree, size, k), NCUBE2).completion_time
+            for k in (1, 4, 16, 256)
+        }
+        assert times[4] < times[1]
+        assert times[256] > times[16] * 0.9  # flattening / turning back up
+
+    @settings(max_examples=20)
+    @given(case=multicast_cases(max_n=4))
+    def test_wsort_stays_contention_free_segmented(self, case):
+        n, source, dests = case
+        tree = WSort().build_tree(n, source, dests)
+        g = pipelined_multicast_graph(tree, size=512, segments=4)
+        res = simulate_comm(g, NCUBE2)
+        assert res.total_blocked_time == 0.0
+
+
+class TestOptimalSegments:
+    def test_bounds(self):
+        assert optimal_segments(1, 5, NCUBE2) == 1
+        assert 1 <= optimal_segments(65536, 8, NCUBE2) <= 65536
+
+    def test_grows_with_size_and_depth(self):
+        small = optimal_segments(1024, 4, NCUBE2)
+        large = optimal_segments(262144, 4, NCUBE2)
+        assert large >= small
+        shallow = optimal_segments(65536, 2, NCUBE2)
+        deep = optimal_segments(65536, 10, NCUBE2)
+        assert deep >= shallow
+
+    def test_near_optimal_in_simulation(self):
+        """The closed form lands within 25% of the best simulated k."""
+        tree = deep_tree()
+        size = 32768
+        k_star = optimal_segments(size, 5, NCUBE2)
+        t_star = simulate_comm(
+            pipelined_multicast_graph(tree, size, k_star), NCUBE2
+        ).completion_time
+        best = min(
+            simulate_comm(pipelined_multicast_graph(tree, size, k), NCUBE2).completion_time
+            for k in (1, 2, 4, 8, 16, 32, 64)
+        )
+        assert t_star <= best * 1.25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            optimal_segments(0, 3, NCUBE2)

@@ -1,0 +1,60 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A moderately sized default profile: the property tests do real work
+# (brute-force cross-checks), so cap examples rather than time out.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+import os  # noqa: E402
+
+settings.load_profile(
+    "thorough" if os.environ.get("REPRO_THOROUGH") else "repro"
+)
+
+
+@st.composite
+def multicast_cases(draw, min_n: int = 1, max_n: int = 6, min_dests: int = 1):
+    """Draw ``(n, source, destinations)`` for a random multicast.
+
+    ``destinations`` is a sorted list of distinct addresses excluding
+    the source; sizes range from ``min_dests`` up to the full cube.
+    """
+    n = draw(st.integers(min_n, max_n))
+    size = 1 << n
+    source = draw(st.integers(0, size - 1))
+    dests = draw(
+        st.sets(
+            st.integers(0, size - 1).filter(lambda x: x != source),
+            min_size=min(min_dests, size - 1),
+            max_size=size - 1,
+        )
+    )
+    return n, source, sorted(dests)
+
+
+@pytest.fixture
+def fig3_case():
+    """The running example of Section 2 (Figures 3 and 5)."""
+    return 4, 0b0000, [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+
+
+@pytest.fixture
+def fig8_case():
+    """The Section 4.2 example (Figure 8)."""
+    return 4, 0, [1, 3, 5, 7, 11, 12, 14, 15]

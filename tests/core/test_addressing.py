@@ -1,0 +1,182 @@
+"""Tests for repro.core.addressing (Definition 1 and bit utilities)."""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.core.addressing import (
+    bit,
+    delta,
+    first_dim,
+    hamming,
+    lowest_diff,
+    neighbor,
+    popcount,
+    require_address,
+    reverse_bits,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(0b1111) == 4
+
+    def test_single_bits(self):
+        for k in range(20):
+            assert popcount(1 << k) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(0, 2**32))
+    def test_matches_bin_count(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestHamming:
+    def test_self_distance_zero(self):
+        assert hamming(0b1010, 0b1010) == 0
+
+    def test_paper_example(self):
+        # P(0101, 1110) has 3 hops (Section 3.1)
+        assert hamming(0b0101, 0b1110) == 3
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_symmetric(self, u, v):
+        assert hamming(u, v) == hamming(v, u)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_triangle_inequality(self, u, v, w):
+        assert hamming(u, w) <= hamming(u, v) + hamming(v, w)
+
+
+class TestDelta:
+    def test_definition_1_formula(self):
+        # delta(u, v) == floor(log2(u XOR v))
+        for u in range(32):
+            for v in range(32):
+                if u != v:
+                    assert delta(u, v) == int(math.floor(math.log2(u ^ v)))
+
+    def test_undefined_for_equal(self):
+        with pytest.raises(ValueError):
+            delta(7, 7)
+
+    def test_examples(self):
+        assert delta(0b0000, 0b1000) == 3
+        assert delta(0b0101, 0b0100) == 0
+        assert delta(0b0101, 0b1110) == 3
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_symmetric(self, u, v):
+        if u != v:
+            assert delta(u, v) == delta(v, u)
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_bits_above_delta_agree(self, u, v):
+        if u != v:
+            d = delta(u, v)
+            assert (u >> (d + 1)) == (v >> (d + 1))
+            assert bit(u, d) != bit(v, d)
+
+
+class TestLowestDiff:
+    def test_examples(self):
+        assert lowest_diff(0b0100, 0b0101) == 0
+        assert lowest_diff(0b1000, 0b0000) == 3
+
+    def test_undefined_for_equal(self):
+        with pytest.raises(ValueError):
+            lowest_diff(0, 0)
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_le_delta(self, u, v):
+        if u != v:
+            assert lowest_diff(u, v) <= delta(u, v)
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_single_bit_difference(self, u, v):
+        if hamming(u, v) == 1:
+            assert lowest_diff(u, v) == delta(u, v)
+
+
+class TestFirstDim:
+    def test_descending_is_delta(self):
+        assert first_dim(0b0011, 0b1100, descending=True) == 3
+
+    def test_ascending_is_lowest(self):
+        assert first_dim(0b0011, 0b1100, descending=False) == 0
+
+
+class TestNeighbor:
+    def test_flips_one_bit(self):
+        assert neighbor(0b0000, 3) == 0b1000
+        assert neighbor(0b1000, 3) == 0b0000
+
+    def test_involution(self):
+        for u in range(16):
+            for d in range(4):
+                assert neighbor(neighbor(u, d), d) == u
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            neighbor(0, -1)
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_distance_one(self, u, d):
+        assert hamming(u, neighbor(u, d)) == 1
+
+
+class TestReverseBits:
+    def test_basic(self):
+        assert reverse_bits(0b001, 3) == 0b100
+        assert reverse_bits(0b101, 3) == 0b101
+        assert reverse_bits(0b0001, 4) == 0b1000
+
+    def test_zero_width(self):
+        assert reverse_bits(0, 0) == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            reverse_bits(0b1000, 3)
+
+    @given(st.integers(0, 1023))
+    def test_involution(self, x):
+        assert reverse_bits(reverse_bits(x, 10), 10) == x
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_preserves_hamming(self, u, v):
+        assert hamming(reverse_bits(u, 10), reverse_bits(v, 10)) == hamming(u, v)
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_conjugates_delta_and_lowest(self, u, v):
+        """Bit-reversal swaps the roles of delta and lowest_diff."""
+        if u != v:
+            ru, rv = reverse_bits(u, 10), reverse_bits(v, 10)
+            assert delta(ru, rv) == 9 - lowest_diff(u, v)
+            assert lowest_diff(ru, rv) == 9 - delta(u, v)
+
+
+class TestRequireAddress:
+    def test_accepts_valid(self):
+        assert require_address(7, 3) == 7
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_address(8, 3)
+        with pytest.raises(ValueError):
+            require_address(-1, 3)
+
+    def test_rejects_bool_and_non_int(self):
+        with pytest.raises(TypeError):
+            require_address(True, 3)
+        with pytest.raises(TypeError):
+            require_address("3", 3)

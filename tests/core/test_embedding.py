@@ -1,0 +1,86 @@
+"""Tests for Gray-code embeddings."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.core.addressing import hamming
+from repro.core.embedding import (
+    gray_code,
+    gray_rank,
+    is_unit_distance_path,
+    mesh_embedding,
+    ring_embedding,
+    ring_neighbors,
+)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(0, 100_000))
+    def test_rank_inverts_code(self, i):
+        assert gray_rank(gray_code(i)) == i
+
+    @given(st.integers(0, 100_000))
+    def test_adjacent_codes_differ_by_one_bit(self, i):
+        assert hamming(gray_code(i), gray_code(i + 1)) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            gray_rank(-1)
+
+
+class TestRingEmbedding:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_hamiltonian_cycle(self, n):
+        ring = ring_embedding(n)
+        assert sorted(ring) == list(range(1 << n))
+        assert is_unit_distance_path(ring)
+        assert hamming(ring[-1], ring[0]) == 1  # closes the cycle
+
+    def test_neighbors(self):
+        pred, succ = ring_neighbors(0, 3)
+        ring = ring_embedding(3)
+        assert pred == ring[-1]
+        assert succ == ring[1]
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(ValueError):
+            ring_neighbors(8, 3)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            ring_embedding(0)
+
+
+class TestMeshEmbedding:
+    def test_shape(self):
+        mesh = mesh_embedding(2, 3)
+        assert len(mesh) == 4
+        assert all(len(row) == 8 for row in mesh)
+
+    def test_all_nodes_used_once(self):
+        mesh = mesh_embedding(2, 2)
+        flat = [u for row in mesh for u in row]
+        assert sorted(flat) == list(range(16))
+
+    @pytest.mark.parametrize("a,b", [(1, 1), (2, 2), (2, 3), (3, 1)])
+    def test_mesh_adjacency(self, a, b):
+        mesh = mesh_embedding(a, b)
+        for r in range(len(mesh)):
+            for c in range(len(mesh[0])):
+                if c + 1 < len(mesh[0]):
+                    assert hamming(mesh[r][c], mesh[r][c + 1]) == 1
+                if r + 1 < len(mesh):
+                    assert hamming(mesh[r][c], mesh[r + 1][c]) == 1
+
+    def test_degenerate(self):
+        assert mesh_embedding(0, 0) == [[0]]
+        with pytest.raises(ValueError):
+            mesh_embedding(-1, 2)

@@ -1,0 +1,46 @@
+"""Tests for the executable lemmas (Section 3.2)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.core.lemmas import lemma1_holds, lemma2_holds
+from repro.core.paths import ResolutionOrder
+from repro.core.subcube import Subcube
+
+
+class TestLemma1:
+    def test_paper_path(self):
+        assert lemma1_holds(0b0101, 0b1110)
+
+    def test_trivial_path(self):
+        assert lemma1_holds(5, 5)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_holds_everywhere_descending(self, x, y):
+        assert lemma1_holds(x, y, ResolutionOrder.DESCENDING)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_holds_everywhere_ascending(self, x, y):
+        assert lemma1_holds(x, y, ResolutionOrder.ASCENDING)
+
+    def test_exhaustive_4cube(self):
+        for x in range(16):
+            for y in range(16):
+                assert lemma1_holds(x, y)
+                assert lemma1_holds(x, y, ResolutionOrder.ASCENDING)
+
+
+class TestLemma2:
+    @given(st.data())
+    def test_holds_for_all_subcubes(self, data):
+        n = 6
+        dim = data.draw(st.integers(0, n))
+        mask = data.draw(st.integers(0, (1 << (n - dim)) - 1))
+        assert lemma2_holds(Subcube(n, dim, mask))
+
+    def test_exhaustive_5cube(self):
+        for dim in range(6):
+            for mask in range(1 << (5 - dim)):
+                assert lemma2_holds(Subcube(5, dim, mask))

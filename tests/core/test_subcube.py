@@ -1,0 +1,142 @@
+"""Tests for repro.core.subcube (Definition 2 and Lemma 2)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.core.subcube import Subcube
+
+
+class TestConstruction:
+    def test_whole_cube(self):
+        s = Subcube.whole_cube(4)
+        assert s.size == 16
+        assert all(u in s for u in range(16))
+
+    def test_point_subcube(self):
+        s = Subcube(4, 0, 0b1010)
+        assert s.size == 1
+        assert 0b1010 in s
+        assert 0b1011 not in s
+
+    def test_definition_membership(self):
+        # u in S iff (u >> n_S) == M_S
+        s = Subcube(4, 2, 0b10)
+        assert s.nodes() == [0b1000, 0b1001, 0b1010, 0b1011]
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            Subcube(4, 5, 0)
+
+    def test_invalid_mask(self):
+        with pytest.raises(ValueError):
+            Subcube(4, 2, 0b100)  # only 2 fixed bits available
+
+    def test_containing(self):
+        s = Subcube.containing(0b1011, 2, 4)
+        assert s == Subcube(4, 2, 0b10)
+        assert 0b1011 in s
+
+    def test_out_of_cube_not_member(self):
+        s = Subcube.whole_cube(3)
+        assert 8 not in s
+        assert -1 not in s
+
+
+class TestSmallestContaining:
+    def test_single_node(self):
+        s = Subcube.smallest_containing([5], 4)
+        assert s.dim == 0 and 5 in s
+
+    def test_pair(self):
+        # 0b0100 and 0b0111 share the high bits 01
+        s = Subcube.smallest_containing([0b0100, 0b0111], 4)
+        assert s == Subcube(4, 2, 0b01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Subcube.smallest_containing([], 4)
+
+    @given(st.sets(st.integers(0, 63), min_size=1))
+    def test_contains_all_and_minimal(self, nodes):
+        s = Subcube.smallest_containing(nodes, 6)
+        assert all(u in s for u in nodes)
+        if s.dim > 0:
+            lo, hi = s.halves()
+            # not all nodes fit in either half, else s would not be smallest
+            assert not all(u in lo for u in nodes)
+            assert not all(u in hi for u in nodes)
+
+
+class TestLemma2Contiguity:
+    """Lemma 2: node addresses within any subcube are contiguous."""
+
+    @given(st.integers(0, 6), st.data())
+    def test_contiguous(self, dim, data):
+        n = 6
+        mask = data.draw(st.integers(0, (1 << (n - dim)) - 1))
+        s = Subcube(n, dim, mask)
+        nodes = s.nodes()
+        assert nodes == list(range(nodes[0], nodes[0] + len(nodes)))
+        assert nodes[0] == s.lo and nodes[-1] == s.hi
+
+    def test_betweenness(self):
+        s = Subcube(5, 3, 0b01)
+        for x in s:
+            for z in s:
+                for y in range(x, z + 1):
+                    assert y in s
+
+
+class TestHalves:
+    def test_split(self):
+        s = Subcube(4, 2, 0b10)
+        lo, hi = s.halves()
+        assert lo.nodes() == [0b1000, 0b1001]
+        assert hi.nodes() == [0b1010, 0b1011]
+
+    def test_partition(self):
+        s = Subcube.whole_cube(5)
+        lo, hi = s.halves()
+        assert sorted(lo.nodes() + hi.nodes()) == s.nodes()
+
+    def test_zero_dim_has_no_halves(self):
+        with pytest.raises(ValueError):
+            Subcube(3, 0, 5).halves()
+
+    def test_half_of(self):
+        s = Subcube.whole_cube(4)
+        assert 0b0101 in s.half_of(0b0101)
+        assert s.half_of(0b0101).dim == 3
+        with pytest.raises(ValueError):
+            Subcube(4, 1, 0b000).half_of(0b1111)
+
+
+class TestContainsSubcube:
+    def test_reflexive(self):
+        s = Subcube(4, 2, 0b01)
+        assert s.contains_subcube(s)
+
+    def test_halves_contained(self):
+        s = Subcube(4, 3, 0b1)
+        lo, hi = s.halves()
+        assert s.contains_subcube(lo)
+        assert s.contains_subcube(hi)
+        assert not lo.contains_subcube(s)
+
+    def test_disjoint_not_contained(self):
+        a = Subcube(4, 2, 0b00)
+        b = Subcube(4, 2, 0b01)
+        assert not a.contains_subcube(b)
+
+    @given(st.data())
+    def test_agrees_with_node_sets(self, data):
+        n = 5
+        d1 = data.draw(st.integers(0, n))
+        m1 = data.draw(st.integers(0, (1 << (n - d1)) - 1))
+        d2 = data.draw(st.integers(0, n))
+        m2 = data.draw(st.integers(0, (1 << (n - d2)) - 1))
+        a, b = Subcube(n, d1, m1), Subcube(n, d2, m2)
+        assert a.contains_subcube(b) == set(b.nodes()).issubset(a.nodes())

@@ -1,0 +1,142 @@
+"""Tests for the 2D mesh topology and XY routing."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.mesh.routing import xy_arcs, xy_path
+from repro.mesh.topology import EAST, Mesh2D, NORTH, SOUTH, WEST
+
+
+@st.composite
+def mesh_pairs(draw):
+    cols = draw(st.integers(1, 8))
+    rows = draw(st.integers(1, 8))
+    mesh = Mesh2D(cols, rows)
+    u = draw(st.integers(0, mesh.size - 1))
+    v = draw(st.integers(0, mesh.size - 1))
+    return mesh, u, v
+
+
+class TestMesh2D:
+    def test_ids_and_coords_roundtrip(self):
+        mesh = Mesh2D(4, 3)
+        for y in range(3):
+            for x in range(4):
+                assert mesh.coords(mesh.node(x, y)) == (x, y)
+
+    def test_size(self):
+        assert Mesh2D(4, 3).size == 12
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+
+    def test_neighbors(self):
+        mesh = Mesh2D(3, 3)
+        center = mesh.node(1, 1)
+        assert mesh.neighbor(center, EAST) == mesh.node(2, 1)
+        assert mesh.neighbor(center, WEST) == mesh.node(0, 1)
+        assert mesh.neighbor(center, NORTH) == mesh.node(1, 2)
+        assert mesh.neighbor(center, SOUTH) == mesh.node(1, 0)
+
+    def test_boundary_neighbors_none(self):
+        mesh = Mesh2D(3, 3)
+        assert mesh.neighbor(mesh.node(0, 0), WEST) is None
+        assert mesh.neighbor(mesh.node(0, 0), SOUTH) is None
+        assert mesh.neighbor(mesh.node(2, 2), EAST) is None
+        assert mesh.neighbor(mesh.node(2, 2), NORTH) is None
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            Mesh2D(3, 3).neighbor(0, 7)
+
+    def test_validate_node(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(ValueError):
+            mesh.validate_node(9)
+        with pytest.raises(TypeError):
+            mesh.validate_node("x")
+
+    def test_validate_arc(self):
+        mesh = Mesh2D(3, 3)
+        mesh.validate_arc((0, EAST))
+        with pytest.raises(ValueError):
+            mesh.validate_arc((0, WEST))
+
+    @given(mp=mesh_pairs())
+    def test_distance_symmetric(self, mp):
+        mesh, u, v = mp
+        assert mesh.distance(u, v) == mesh.distance(v, u)
+
+
+class TestXYRouting:
+    def test_x_then_y(self):
+        mesh = Mesh2D(4, 4)
+        path = xy_path(mesh, mesh.node(0, 0), mesh.node(2, 2))
+        coords = [mesh.coords(u) for u in path]
+        assert coords == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_westward_and_southward(self):
+        mesh = Mesh2D(4, 4)
+        path = xy_path(mesh, mesh.node(3, 3), mesh.node(1, 0))
+        coords = [mesh.coords(u) for u in path]
+        assert coords == [(3, 3), (2, 3), (1, 3), (1, 2), (1, 1), (1, 0)]
+
+    def test_self_route_empty(self):
+        mesh = Mesh2D(3, 3)
+        assert xy_arcs(mesh, 4, 4) == []
+        assert xy_path(mesh, 4, 4) == [4]
+
+    @given(mp=mesh_pairs())
+    def test_length_is_manhattan(self, mp):
+        mesh, u, v = mp
+        assert len(xy_arcs(mesh, u, v)) == mesh.distance(u, v)
+
+    @given(mp=mesh_pairs())
+    def test_path_valid(self, mp):
+        mesh, u, v = mp
+        path = xy_path(mesh, u, v)
+        assert path[0] == u and path[-1] == v
+        for a, b in zip(path, path[1:]):
+            assert mesh.distance(a, b) == 1
+
+    @given(mp=mesh_pairs())
+    def test_deterministic(self, mp):
+        mesh, u, v = mp
+        assert xy_arcs(mesh, u, v) == xy_arcs(mesh, u, v)
+
+
+class TestXYDeadlockFreedom:
+    """XY routing's channel dependency graph is acyclic (the mesh analog
+    of the E-cube argument, same Dally-Seitz machinery)."""
+
+    def test_acyclic(self):
+        import networkx as nx
+
+        mesh = Mesh2D(4, 4)
+        g = nx.DiGraph()
+        for u in range(mesh.size):
+            for v in range(mesh.size):
+                if u == v:
+                    continue
+                arcs = xy_arcs(mesh, u, v)
+                for a, b in zip(arcs, arcs[1:]):
+                    g.add_edge(a, b)
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_dependencies_only_x_to_y(self):
+        mesh = Mesh2D(4, 4)
+        for u in range(mesh.size):
+            for v in range(mesh.size):
+                if u == v:
+                    continue
+                arcs = xy_arcs(mesh, u, v)
+                seen_y = False
+                for _, direction in arcs:
+                    if direction in (NORTH, SOUTH):
+                        seen_y = True
+                    else:
+                        assert not seen_y, "X move after a Y move"

@@ -1,0 +1,168 @@
+"""Tests for the U-mesh multicast algorithm."""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.mesh import Mesh2D, MeshTree, UMesh, simulate_mesh_multicast
+from repro.multicast.ports import ALL_PORT, ONE_PORT
+from repro.simulator.params import NCUBE2, STEP
+
+
+@st.composite
+def umesh_cases(draw):
+    cols = draw(st.integers(2, 7))
+    rows = draw(st.integers(2, 7))
+    mesh = Mesh2D(cols, rows)
+    source = draw(st.integers(0, mesh.size - 1))
+    dests = draw(
+        st.sets(
+            st.integers(0, mesh.size - 1).filter(lambda x: x != source),
+            min_size=1,
+            max_size=mesh.size - 1,
+        )
+    )
+    return mesh, source, sorted(dests)
+
+
+class TestTreeStructure:
+    @given(case=umesh_cases())
+    def test_covers_destinations_exactly_once(self, case):
+        mesh, source, dests = case
+        tree = UMesh().build_tree(mesh, source, dests)
+        assert {s.dst for s in tree.sends} == set(dests)
+        assert len(tree.sends) == len(dests)
+        assert tree.relay_nodes == set()
+
+    def test_validation(self):
+        mesh = Mesh2D(3, 3)
+        with pytest.raises(ValueError):
+            UMesh().build_tree(mesh, 0, [0, 1])
+        with pytest.raises(ValueError):
+            UMesh().build_tree(mesh, 0, [1, 1])
+        with pytest.raises(ValueError):
+            UMesh().build_tree(mesh, 0, [99])
+
+    def test_empty_destinations(self):
+        mesh = Mesh2D(3, 3)
+        tree = UMesh().build_tree(mesh, 4, [])
+        assert tree.sends == []
+        assert tree.schedule(ONE_PORT).max_step == 0
+
+
+class TestOnePortOptimality:
+    """U-mesh matches U-cube's one-port bound: ceil(log2(m+1)) steps."""
+
+    @given(case=umesh_cases())
+    def test_step_count(self, case):
+        mesh, source, dests = case
+        tree = UMesh().build_tree(mesh, source, dests)
+        assert tree.schedule(ONE_PORT).max_step == math.ceil(math.log2(len(dests) + 1))
+
+    def test_broadcast_whole_mesh(self):
+        mesh = Mesh2D(4, 4)
+        dests = [u for u in range(16) if u != 5]
+        tree = UMesh().build_tree(mesh, 5, dests)
+        assert tree.schedule(ONE_PORT).max_step == 4  # ceil(log2(16))
+
+
+class TestContentionFreedom:
+    """The [9] guarantee: contention-free on one-port XY-routed meshes."""
+
+    @given(case=umesh_cases())
+    def test_definition4_with_xy_arcs(self, case):
+        mesh, source, dests = case
+        sched = UMesh().build_tree(mesh, source, dests).schedule(ONE_PORT)
+        report = sched.check_contention()
+        assert report.ok, report.summary()
+
+    @given(case=umesh_cases())
+    def test_zero_blocking_one_port(self, case):
+        mesh, source, dests = case
+        tree = UMesh().build_tree(mesh, source, dests)
+        res = simulate_mesh_multicast(tree, 512, NCUBE2, ONE_PORT)
+        assert res.total_blocked_time == 0.0
+
+    def test_exhaustive_3x3(self):
+        """Every source and every destination subset of a 3x3 mesh."""
+        from itertools import combinations
+
+        mesh = Mesh2D(3, 3)
+        alg = UMesh()
+        for source in range(9):
+            others = [u for u in range(9) if u != source]
+            for m in (1, 2, 3, 8):
+                for dests in combinations(others, m):
+                    sched = alg.build_tree(mesh, source, list(dests)).schedule(ONE_PORT)
+                    assert sched.check_contention().ok
+                    assert sched.max_step == math.ceil(math.log2(m + 1))
+
+
+class TestSimulation:
+    def test_delays_reported(self):
+        mesh = Mesh2D(4, 4)
+        tree = UMesh().build_tree(mesh, 0, [3, 7, 12, 15])
+        res = simulate_mesh_multicast(tree, 4096, NCUBE2, ONE_PORT)
+        assert set(res.delays) == {3, 7, 12, 15}
+        assert 0 < res.avg_delay <= res.max_delay
+
+    def test_step_semantics_under_unit_costs(self):
+        mesh = Mesh2D(4, 4)
+        tree = UMesh().build_tree(mesh, 5, [0, 3, 10, 14, 15])
+        sched = tree.schedule(ONE_PORT)
+        res = simulate_mesh_multicast(tree, size=1, timings=STEP, ports=ONE_PORT)
+        for d in tree.destinations:
+            assert res.delays[d] == pytest.approx(sched.dest_steps[d])
+
+    def test_all_port_not_slower(self):
+        mesh = Mesh2D(5, 5)
+        dests = [1, 3, 8, 11, 17, 22, 24]
+        tree = UMesh().build_tree(mesh, 12, dests)
+        one = simulate_mesh_multicast(tree, 4096, NCUBE2, ONE_PORT)
+        allp = simulate_mesh_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert allp.avg_delay <= one.avg_delay + 1e-9
+
+    def test_flit_level_cross_validation(self):
+        """The mesh's XY routes through the exact flit-level model agree
+        with the channel-holding model within the pipeline-fill term."""
+        from repro.mesh.routing import xy_arcs
+        from repro.simulator.engine import Simulator
+        from repro.simulator.flitlevel import FlitLevelNetwork
+        from repro.simulator.network import WormholeNetwork
+        from repro.simulator.params import Timings
+
+        mesh = Mesh2D(4, 4)
+        t = Timings(t_setup=0, t_recv=0, t_byte=1.0, t_hop=4.0)
+        src, dst, flits = mesh.node(0, 0), mesh.node(3, 2), 64
+        route = lambda u, v: xy_arcs(mesh, u, v)  # noqa: E731
+
+        sim_f = Simulator()
+        fn = FlitLevelNetwork(sim_f, 1, timings=t, route=route)
+        fw = fn.inject(src, dst, flits)
+        sim_f.run()
+        fn.assert_quiescent()
+
+        sim_h = Simulator()
+        hn = WormholeNetwork(sim_h, 1, timings=t, route=route)
+        hn.validate_node = lambda node, what: mesh.validate_node(node, what)
+        hn.validate_arc = mesh.validate_arc
+        hw = hn.make_worm(src, dst, flits)
+        hn.inject(hw)
+        sim_h.run()
+
+        h = mesh.distance(src, dst)
+        assert fw.t_delivered >= hw.t_delivered - 1e-9
+        assert fw.t_delivered - hw.t_delivered <= h * (t.t_byte + t.t_hop) + 1e-9
+
+    def test_hand_built_tree_with_relay(self):
+        mesh = Mesh2D(3, 3)
+        tree = MeshTree(mesh, 0, [8])
+        tree.add_send(0, 4)  # relay CPU
+        tree.add_send(4, 8)
+        assert tree.relay_nodes == {4}
+        res = simulate_mesh_multicast(tree, 128)
+        assert 8 in res.delays

@@ -1,0 +1,131 @@
+"""Tests for the distributed (node-local) execution model.
+
+The key claim: running each algorithm as a cascade of node-local
+decisions over the address fields physically carried by messages
+produces exactly the trees the centralized builders construct -- i.e.
+the address fields are self-sufficient, as they must be on a real
+machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast import ALL_PORT
+from repro.multicast.distributed import (
+    KERNELS,
+    execute_distributed,
+    maxport_kernel,
+    ucube_kernel,
+)
+from repro.multicast.registry import get_algorithm
+from tests.conftest import multicast_cases
+
+ALGS = ("ucube", "maxport", "combine", "wsort")
+
+
+def centralized(algorithm: str, n: int, source: int, dests, order=ResolutionOrder.DESCENDING):
+    return get_algorithm(algorithm).build_tree(n, source, dests, order)
+
+
+class TestKernelBasics:
+    def test_singleton_field_no_sends(self):
+        assert ucube_kernel([5]) == []
+        assert maxport_kernel([5]) == []
+
+    def test_ucube_kernel_fig4(self):
+        """Source's own sends for the Fig. 3 example: to positions
+        center, then halves downward."""
+        chain = [0, 1, 3, 5, 7, 11, 12, 14, 15]
+        sends = ucube_kernel(chain)
+        assert [s[0] for s in sends] == [7, 3, 1]
+        # first receiver is handed the whole upper half
+        assert sends[0][1] == [7, 11, 12, 14, 15]
+
+    def test_maxport_kernel_distinct_dimensions(self):
+        from repro.core.addressing import delta
+
+        chain = [0, 1, 3, 5, 7, 11, 12, 14, 15]
+        sends = maxport_kernel(chain)
+        dims = [delta(0, dst) for dst, _ in sends]
+        assert len(set(dims)) == len(dims)
+
+    def test_maxport_kernel_weighted_chain(self):
+        """On the Fig. 8 weighted chain the source forwards the crowded
+        high subcube to node 14 first."""
+        chain = [0, 1, 3, 5, 7, 14, 15, 12, 11]
+        sends = maxport_kernel(chain)
+        assert sends[0][0] == 14
+        assert sends[0][1] == [14, 15, 12, 11]
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            execute_distributed("separate", 3, 0, [1])
+
+
+class TestDistributedEqualsCentralized:
+    @pytest.mark.parametrize("algorithm", ALGS)
+    @given(case=multicast_cases())
+    def test_same_sends(self, algorithm, case):
+        n, source, dests = case
+        dist = execute_distributed(algorithm, n, source, dests)
+        cent = centralized(algorithm, n, source, dests)
+        assert sorted((s.src, s.dst, s.chain) for s in dist.sends) == sorted(
+            (s.src, s.dst, s.chain) for s in cent.sends
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGS)
+    @given(case=multicast_cases(max_n=5))
+    def test_same_per_sender_issue_order(self, algorithm, case):
+        n, source, dests = case
+        dist = execute_distributed(algorithm, n, source, dests)
+        cent = centralized(algorithm, n, source, dests)
+        senders = {s.src for s in cent.sends}
+        for node in senders:
+            assert [s.dst for s in dist.sends_from(node)] == [
+                s.dst for s in cent.sends_from(node)
+            ]
+
+    @pytest.mark.parametrize("algorithm", ALGS)
+    @given(case=multicast_cases(max_n=5))
+    def test_same_schedule(self, algorithm, case):
+        n, source, dests = case
+        dist = execute_distributed(algorithm, n, source, dests).schedule(ALL_PORT)
+        cent = centralized(algorithm, n, source, dests).schedule(ALL_PORT)
+        assert dist.dest_steps == cent.dest_steps
+
+    @pytest.mark.parametrize("algorithm", ALGS)
+    def test_ascending_order(self, algorithm):
+        dests = [1, 3, 5, 7, 11, 12, 14, 15]
+        dist = execute_distributed(
+            algorithm, 4, 0, dests, ResolutionOrder.ASCENDING
+        )
+        cent = centralized(algorithm, 4, 0, dests, ResolutionOrder.ASCENDING)
+        assert sorted((s.src, s.dst) for s in dist.sends) == sorted(
+            (s.src, s.dst) for s in cent.sends
+        )
+        assert dist.order is ResolutionOrder.ASCENDING
+
+
+class TestFieldSufficiency:
+    """Nothing outside the address field is needed: the payload chains
+    recorded on sends are exactly the fields the kernels received."""
+
+    @pytest.mark.parametrize("algorithm", ALGS)
+    @given(case=multicast_cases(max_n=5))
+    def test_fields_cover_subtrees(self, algorithm, case):
+        n, source, dests = case
+        tree = execute_distributed(algorithm, n, source, dests)
+        from repro.core.contention import reachable_sets
+        from repro.core.contention import Unicast
+
+        sched = tree.schedule(ALL_PORT)
+        reach = reachable_sets(source, sched.unicasts)
+        for s in tree.sends:
+            # a send's field lists exactly the receiver's subtree minus itself
+            assert set(s.chain) == reach[s.dst] - {s.dst}
+
+    def test_kernels_registered_for_all_paper_algorithms(self):
+        assert set(KERNELS) == {"ucube", "maxport", "combine", "wsort"}

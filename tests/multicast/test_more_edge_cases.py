@@ -1,0 +1,93 @@
+"""Edge-case sweep: degenerate instances through every public surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast import ALL_PORT, ONE_PORT, verify_multicast
+from repro.multicast.optimal import optimal_steps, optimal_tree
+from repro.multicast.registry import ALGORITHMS, get_algorithm
+from repro.simulator import NCUBE2, simulate_multicast
+
+ALL_NAMES = sorted(ALGORITHMS)
+
+
+class TestOneCube:
+    """The smallest hypercube: 2 nodes, 1 channel each way."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_single_possible_multicast(self, name):
+        alg = get_algorithm(name)
+        result = verify_multicast(alg, 1, 0, [1], ALL_PORT, allow_relays=True)
+        assert result
+        tree = alg.build_tree(1, 0, [1])
+        res = simulate_multicast(tree, 64, NCUBE2, ALL_PORT)
+        assert res.delays[1] == pytest.approx(NCUBE2.unicast_latency(64, 1))
+
+    def test_optimal_is_one_step(self):
+        assert optimal_steps(1, 0, [1]) == 1
+
+
+class TestEmptyDestinationSet:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_empty_multicast(self, name):
+        alg = get_algorithm(name)
+        tree = alg.build_tree(4, 7, [])
+        assert tree.sends == []
+        assert tree.schedule(ONE_PORT).max_step == 0
+        res = simulate_multicast(tree, 64, NCUBE2)
+        assert res.avg_delay == 0.0
+
+
+class TestSingleDestination:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_one_send_only(self, name):
+        alg = get_algorithm(name)
+        tree = alg.build_tree(5, 9, [22])
+        dst_sends = [s for s in tree.sends if s.dst == 22]
+        assert len(dst_sends) == 1
+        assert tree.schedule(ALL_PORT).max_step >= 1
+
+
+class TestFullBroadcastEveryAlgorithm:
+    @pytest.mark.parametrize("name", ["ucube", "maxport", "combine", "wsort"])
+    @pytest.mark.parametrize("source", [0, 7, 31])
+    def test_broadcast_from_any_source(self, name, source):
+        n = 5
+        dests = [u for u in range(1 << n) if u != source]
+        result = verify_multicast(get_algorithm(name), n, source, dests, ALL_PORT)
+        assert result, result.errors
+
+    def test_broadcast_trees_all_have_n_steps_one_port(self):
+        n = 4
+        for name in ("ucube", "maxport", "combine", "wsort"):
+            dests = [u for u in range(1 << n) if u != 3]
+            sched = get_algorithm(name).schedule(n, 3, dests, ONE_PORT)
+            assert sched.max_step >= n  # information-theoretic floor
+
+
+class TestAscendingOrderEdgeCases:
+    def test_optimal_tree_ascending(self):
+        tree = optimal_tree(3, 0, [1, 2, 4], ResolutionOrder.ASCENDING)
+        assert {s.dst for s in tree.sends} == {1, 2, 4}
+        sched = tree.schedule(ALL_PORT)
+        assert sched.check_contention().ok
+
+    @pytest.mark.parametrize("name", ["ucube", "maxport", "combine", "wsort"])
+    def test_single_dest_ascending(self, name):
+        tree = get_algorithm(name).build_tree(4, 5, [10], ResolutionOrder.ASCENDING)
+        assert [(s.src, s.dst) for s in tree.sends] == [(5, 10)]
+
+    def test_separate_and_saf_ascending(self):
+        for name in ("separate", "saf"):
+            result = verify_multicast(
+                get_algorithm(name),
+                4,
+                0,
+                [3, 9, 14],
+                ONE_PORT,
+                order=ResolutionOrder.ASCENDING,
+                allow_relays=True,
+            )
+            assert result, result.errors

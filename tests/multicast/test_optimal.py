@@ -1,0 +1,103 @@
+"""Tests for the exact step-optimal multicast search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.multicast import ALL_PORT, WSort, verify_multicast
+from repro.multicast.optimal import allport_lower_bound, optimal_steps, optimal_tree
+from repro.multicast.registry import get_algorithm
+from tests.conftest import multicast_cases
+
+FIG3_DESTS = [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+
+
+class TestLowerBound:
+    def test_zero_dests(self):
+        assert allport_lower_bound(0, 4) == 0
+
+    def test_one_dest(self):
+        assert allport_lower_bound(1, 4) == 1
+
+    def test_growth_rate(self):
+        # one step informs at most n+1 nodes total
+        assert allport_lower_bound(4, 4) == 1
+        assert allport_lower_bound(5, 4) == 2
+        assert allport_lower_bound(24, 4) == 2
+        assert allport_lower_bound(25, 4) == 3
+
+    def test_one_port_case(self):
+        assert allport_lower_bound(3, 1) == 2
+        assert allport_lower_bound(7, 1) == 3
+
+
+class TestPaperOptimality:
+    def test_fig3e_two_steps_is_optimal(self):
+        """Figure 3(e): the 2-step tree is optimal for the running
+        example -- and the search proves no 1-step schedule exists."""
+        assert optimal_steps(4, 0, FIG3_DESTS) == 2
+
+    def test_wsort_achieves_optimum_on_fig3(self):
+        assert WSort().schedule(4, 0, FIG3_DESTS, ALL_PORT).max_step == 2
+
+    def test_fig6_two_steps_optimal(self):
+        """Figure 6: {1001, 1010, 1011} needs 2 steps (Maxport's 3 is
+        suboptimal; U-cube's 2 is optimal)."""
+        assert optimal_steps(4, 0, [0b1001, 0b1010, 0b1011]) == 2
+
+    def test_fig8_two_steps_optimal(self):
+        assert optimal_steps(4, 0, [1, 3, 5, 7, 11, 12, 14, 15]) == 2
+
+
+class TestOptimalTree:
+    def test_tree_is_valid_and_achieves_optimum(self):
+        tree = optimal_tree(4, 0, FIG3_DESTS)
+        assert tree.destinations == set(FIG3_DESTS)
+        assert {s.dst for s in tree.sends} == set(FIG3_DESTS)
+        sched = tree.schedule(ALL_PORT)
+        assert sched.max_step == 2
+        assert sched.check_contention().ok
+
+    def test_empty(self):
+        assert optimal_steps(3, 0, []) == 0
+        assert optimal_tree(3, 0, []).sends == []
+
+    def test_single_dest(self):
+        assert optimal_steps(3, 5, [2]) == 1
+
+
+class TestHeuristicsVsOptimum:
+    @settings(max_examples=25)
+    @given(case=multicast_cases(max_n=4))
+    def test_no_heuristic_beats_the_optimum(self, case):
+        n, source, dests = case
+        if len(dests) > 7:
+            dests = dests[:7]
+        opt = optimal_steps(n, source, dests)
+        for name in ("ucube", "maxport", "combine", "wsort"):
+            steps = get_algorithm(name).schedule(n, source, dests, ALL_PORT).max_step
+            assert steps >= opt
+
+    @settings(max_examples=25)
+    @given(case=multicast_cases(max_n=4))
+    def test_wsort_close_to_optimum(self, case):
+        """W-sort stays within 2x of the true optimum on small cases
+        (empirically it is usually optimal or +1)."""
+        n, source, dests = case
+        if len(dests) > 7:
+            dests = dests[:7]
+        opt = optimal_steps(n, source, dests)
+        steps = WSort().schedule(n, source, dests, ALL_PORT).max_step
+        assert steps <= 2 * opt
+
+    @settings(max_examples=15)
+    @given(case=multicast_cases(max_n=4))
+    def test_optimal_tree_verifies(self, case):
+        n, source, dests = case
+        if len(dests) > 6:
+            dests = dests[:6]
+        tree = optimal_tree(n, source, dests)
+        sched = tree.schedule(ALL_PORT)
+        assert sched.check_contention().ok
+        assert sched.max_step == optimal_steps(n, source, dests)

@@ -1,0 +1,183 @@
+"""Tests for the multicast tree structure and the greedy step scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast import ALL_PORT, ONE_PORT, MulticastTree, k_port
+from repro.multicast.ports import PortModel
+
+
+class TestMulticastTree:
+    def test_basic_construction(self):
+        tree = MulticastTree(3, 0, [1, 2])
+        tree.add_send(0, 1)
+        tree.add_send(0, 2)
+        assert tree.nodes_receiving == {1, 2}
+        assert tree.relay_nodes == set()
+        assert tree.depth() == 1
+        assert tree.total_hops() == 2
+
+    def test_source_among_destinations_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTree(3, 0, [0, 1])
+
+    def test_self_send_rejected(self):
+        tree = MulticastTree(3, 0, [1])
+        with pytest.raises(ValueError):
+            tree.add_send(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastTree(3, 8, [1])
+        tree = MulticastTree(3, 0, [1])
+        with pytest.raises(ValueError):
+            tree.add_send(0, 9)
+
+    def test_relay_nodes(self):
+        tree = MulticastTree(3, 0, [3])
+        tree.add_send(0, 1)  # relay CPU
+        tree.add_send(1, 3)
+        assert tree.relay_nodes == {1}
+
+    def test_depth_chain(self):
+        tree = MulticastTree(3, 0, [1, 3, 7])
+        tree.add_send(0, 1)
+        tree.add_send(1, 3)
+        tree.add_send(3, 7)
+        assert tree.depth() == 3
+
+    def test_depth_generic_order(self):
+        """depth() falls back to a fixpoint when sends are appended
+        child-before-parent (hand-built trees)."""
+        tree = MulticastTree(3, 0, [1, 3])
+        tree.add_send(1, 3)
+        tree.add_send(0, 1)
+        assert tree.depth() == 2
+
+    def test_disconnected_tree_depth_raises(self):
+        tree = MulticastTree(3, 0, [3])
+        tree.add_send(2, 3)
+        with pytest.raises(ValueError):
+            tree.depth()
+
+    def test_disconnected_tree_schedule_raises(self):
+        tree = MulticastTree(3, 0, [3])
+        tree.add_send(2, 3)
+        with pytest.raises(ValueError):
+            tree.schedule(ALL_PORT)
+
+    def test_sends_from_preserves_issue_order(self):
+        tree = MulticastTree(4, 0, [1, 2, 4])
+        tree.add_send(0, 4)
+        tree.add_send(0, 2)
+        tree.add_send(0, 1)
+        assert [s.dst for s in tree.sends_from(0)] == [4, 2, 1]
+
+    def test_parent_of(self):
+        tree = MulticastTree(3, 0, [1, 3])
+        tree.add_send(0, 1)
+        tree.add_send(1, 3)
+        assert tree.parent_of(3) == 1
+        assert tree.parent_of(1) == 0
+        assert tree.parent_of(0) is None
+
+
+class TestScheduler:
+    def test_empty_tree(self):
+        tree = MulticastTree(3, 0, [])
+        sched = tree.schedule(ALL_PORT)
+        assert sched.max_step == 0
+        assert sched.unicasts == []
+
+    def test_one_port_serializes(self):
+        tree = MulticastTree(3, 0, [1, 2, 4])
+        for d in (4, 2, 1):
+            tree.add_send(0, d)
+        sched = tree.schedule(ONE_PORT)
+        assert [u.step for u in sched.unicasts] == [1, 2, 3]
+
+    def test_all_port_parallelizes_distinct_channels(self):
+        tree = MulticastTree(3, 0, [1, 2, 4])
+        for d in (4, 2, 1):
+            tree.add_send(0, d)
+        sched = tree.schedule(ALL_PORT)
+        assert sched.max_step == 1
+
+    def test_all_port_serializes_shared_first_channel(self):
+        """Two sends whose E-cube paths share the first arc cannot go in
+        the same step even on an all-port node (Fig. 3(d))."""
+        tree = MulticastTree(4, 0b0111, [0b1100, 0b1011])
+        tree.add_send(0b0111, 0b1100)
+        tree.add_send(0b0111, 0b1011)
+        sched = tree.schedule(ALL_PORT)
+        steps = sorted(sched.dest_steps.values())
+        assert steps == [1, 2]
+
+    def test_two_port_model(self):
+        tree = MulticastTree(3, 0, [1, 2, 4])
+        for d in (4, 2, 1):
+            tree.add_send(0, d)
+        sched = tree.schedule(k_port(2))
+        assert sched.max_step == 2  # two in step 1, one in step 2
+
+    def test_port_limit_capped_at_n(self):
+        assert k_port(10).limit(3) == 3
+        assert ALL_PORT.limit(5) == 5
+        assert ONE_PORT.limit(5) == 1
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ValueError):
+            PortModel(0, "zero")
+
+    def test_receiver_sends_strictly_later(self):
+        tree = MulticastTree(3, 0, [4, 6])
+        tree.add_send(0, 4)
+        tree.add_send(4, 6)
+        sched = tree.schedule(ALL_PORT)
+        assert sched.dest_steps[4] < sched.dest_steps[6]
+
+    def test_cross_sender_same_step_conflict_delayed(self):
+        """Two different senders conflicting deeper in the network must
+        not be scheduled in the same step."""
+        # 0 -> 4 (arc (0,2)); then 4 -> 7 (arcs (4,1),(6,0))
+        # and 0 -> 6 (arcs (0,2)? no: 0^6=6, dims 2,1: arcs (0,2),(4,1)).
+        tree = MulticastTree(3, 0, [4, 6, 7])
+        tree.add_send(0, 4)
+        tree.add_send(4, 7)
+        tree.add_send(0, 6)
+        sched = tree.schedule(ALL_PORT)
+        by = {(u.src, u.dst): u.step for u in sched.unicasts}
+        # 0->6 and 0->4 share arc (0,2): serialized at the source.
+        assert by[(0, 6)] != by[(0, 4)]
+        # 4->7 and 0->6 share arc (4,1): must not share a step.
+        assert by[(4, 7)] != by[(0, 6)]
+        assert sched.check_contention().ok
+
+    def test_dest_steps_complete(self):
+        tree = MulticastTree(3, 0, [1, 2, 3])
+        tree.add_send(0, 2, chain=(3,))
+        tree.add_send(2, 3)
+        tree.add_send(0, 1)
+        sched = tree.schedule(ALL_PORT)
+        assert set(sched.dest_steps) == {1, 2, 3}
+
+    def test_step_of(self):
+        tree = MulticastTree(3, 0, [1])
+        send = tree.add_send(0, 1)
+        sched = tree.schedule(ALL_PORT)
+        assert sched.step_of(send) == 1
+
+    def test_schedule_respects_order_attribute(self):
+        """Ascending-order trees schedule with ascending-order arcs:
+        0->3 and 0->1 share the first arc (0,0) under ASC but are
+        disjoint under DESC."""
+        tree = MulticastTree(2, 0, [1, 3], order=ResolutionOrder.ASCENDING)
+        tree.add_send(0, 3)
+        tree.add_send(0, 1)
+        assert tree.schedule(ALL_PORT).max_step == 2
+        tree_d = MulticastTree(2, 0, [1, 3], order=ResolutionOrder.DESCENDING)
+        tree_d.add_send(0, 3)
+        tree_d.add_send(0, 1)
+        assert tree_d.schedule(ALL_PORT).max_step == 1

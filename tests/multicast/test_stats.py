@@ -1,0 +1,79 @@
+"""Tests for tree statistics."""
+
+from __future__ import annotations
+
+from hypothesis import given
+
+from repro.multicast import ALL_PORT, DimensionalSAF, Maxport, UCube, WSort
+from repro.multicast.stats import schedule_concurrency, tree_stats
+from tests.conftest import multicast_cases
+
+FIG3_DESTS = [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+
+
+class TestTreeStats:
+    def test_empty_tree(self):
+        tree = UCube().build_tree(3, 0, [])
+        s = tree_stats(tree)
+        assert s.sends == 0 and s.depth == 0 and s.max_fanout == 0
+
+    def test_fig3_ucube(self):
+        s = tree_stats(UCube().build_tree(4, 0, FIG3_DESTS))
+        assert s.sends == 8
+        assert s.depth == 4  # one-port optimal chain depth ceil(log2(9))? no: 4
+        assert s.relay_cpus == 0
+
+    def test_maxport_all_senders_distinct_ports(self):
+        """Every Maxport sender uses pairwise distinct outgoing channels."""
+        tree = Maxport().build_tree(4, 0, FIG3_DESTS)
+        s = tree_stats(tree)
+        senders = {x.src for x in tree.sends}
+        assert s.distinct_port_senders == len(senders)
+
+    def test_saf_relays_counted(self):
+        s = tree_stats(DimensionalSAF().build_tree(4, 0, FIG3_DESTS))
+        assert s.relay_cpus == 5
+        assert s.mean_hops == 1.0  # all SAF unicasts are single hops
+
+    @given(case=multicast_cases(max_n=5))
+    def test_invariants(self, case):
+        n, source, dests = case
+        for alg in (UCube(), Maxport(), WSort()):
+            s = tree_stats(alg.build_tree(n, source, dests))
+            assert s.sends == len(dests)
+            assert 1 <= s.depth <= s.sends
+            assert s.total_hops >= s.sends  # every unicast is >= 1 hop
+            assert s.max_fanout >= s.mean_fanout > 0
+            assert s.relay_cpus == 0
+
+    def test_as_dict_roundtrip(self):
+        s = tree_stats(WSort().build_tree(4, 0, FIG3_DESTS))
+        d = s.as_dict()
+        assert d["sends"] == 8
+        assert set(d) == {
+            "sends",
+            "depth",
+            "total_hops",
+            "mean_hops",
+            "max_fanout",
+            "mean_fanout",
+            "distinct_port_senders",
+            "relay_cpus",
+        }
+
+
+class TestScheduleConcurrency:
+    def test_counts_sum_to_sends(self):
+        sched = WSort().schedule(4, 0, FIG3_DESTS, ALL_PORT)
+        conc = schedule_concurrency(sched)
+        assert sum(conc.values()) == 8
+        assert set(conc) == {1, 2}
+
+    def test_one_port_concurrency_bounded_by_senders(self):
+        from repro.multicast import ONE_PORT
+
+        sched = UCube().schedule(4, 0, FIG3_DESTS, ONE_PORT)
+        conc = schedule_concurrency(sched)
+        # step k has at most 2^(k-1) concurrent sends (doubling senders)
+        for step, count in conc.items():
+            assert count <= 1 << (step - 1)

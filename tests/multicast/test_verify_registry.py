@@ -1,0 +1,108 @@
+"""Unit tests for the verification entry point and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast import (
+    ALL_PORT,
+    MulticastAlgorithm,
+    MulticastTree,
+    verify_multicast,
+)
+from repro.multicast.registry import ALGORITHMS, PAPER_ALGORITHMS, get_algorithm
+from repro.multicast.verify import verify_tree
+
+
+class BrokenMissesDest(MulticastAlgorithm):
+    name = "broken-miss"
+
+    def build_tree(self, n, source, destinations, order=ResolutionOrder.DESCENDING):
+        tree = MulticastTree(n, source, destinations, order)
+        for d in list(destinations)[:-1]:
+            tree.add_send(source, d)
+        return tree
+
+
+class BrokenDoubleDelivery(MulticastAlgorithm):
+    name = "broken-double"
+
+    def build_tree(self, n, source, destinations, order=ResolutionOrder.DESCENDING):
+        tree = MulticastTree(n, source, destinations, order)
+        for d in destinations:
+            tree.add_send(source, d)
+            tree.add_send(source, d)
+        return tree
+
+
+class BrokenRelay(MulticastAlgorithm):
+    name = "broken-relay"
+
+    def build_tree(self, n, source, destinations, order=ResolutionOrder.DESCENDING):
+        tree = MulticastTree(n, source, destinations, order)
+        relay = next(
+            u for u in range(1 << n) if u != source and u not in set(destinations)
+        )
+        tree.add_send(source, relay)
+        for d in destinations:
+            tree.add_send(relay, d)
+        return tree
+
+
+class TestVerifyTree:
+    def test_detects_missing_destination(self):
+        errors = verify_tree(BrokenMissesDest().build_tree(3, 0, [1, 2, 3]))
+        assert any("never reached" in e for e in errors)
+
+    def test_detects_double_delivery(self):
+        errors = verify_tree(BrokenDoubleDelivery().build_tree(3, 0, [1]))
+        assert any("receives the message 2 times" in e for e in errors)
+
+    def test_detects_relays(self):
+        errors = verify_tree(BrokenRelay().build_tree(3, 0, [3, 5]))
+        assert any("non-destination CPUs" in e for e in errors)
+        assert verify_tree(BrokenRelay().build_tree(3, 0, [3, 5]), allow_relays=True) == []
+
+    def test_detects_source_self_delivery(self):
+        tree = MulticastTree(3, 0, [1])
+        tree.add_send(1, 0)  # delivers back to the source
+        tree.add_send(0, 1)
+        errors = verify_tree(tree)
+        assert any("source receives" in e for e in errors)
+
+
+class TestVerifyMulticast:
+    def test_good_algorithm_passes(self):
+        result = verify_multicast(get_algorithm("wsort"), 4, 0, [1, 3, 7], ALL_PORT)
+        assert result
+        result.raise_if_failed()
+        assert result.schedule is not None
+
+    def test_broken_algorithm_fails_with_errors(self):
+        result = verify_multicast(BrokenMissesDest(), 3, 0, [1, 2, 3], ALL_PORT)
+        assert not result
+        with pytest.raises(AssertionError):
+            result.raise_if_failed()
+
+    def test_relay_algorithm_fails_without_flag(self):
+        assert not verify_multicast(BrokenRelay(), 3, 0, [3, 5], ALL_PORT)
+        assert verify_multicast(BrokenRelay(), 3, 0, [3, 5], ALL_PORT, allow_relays=True)
+
+
+class TestRegistry:
+    def test_known_algorithms(self):
+        assert set(PAPER_ALGORITHMS) <= set(ALGORITHMS)
+        for name in ALGORITHMS:
+            alg = get_algorithm(name)
+            assert alg.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("definitely-not-real")
+
+    def test_fresh_instances(self):
+        assert get_algorithm("wsort") is not get_algorithm("wsort")
+
+    def test_repr(self):
+        assert "wsort" in repr(get_algorithm("wsort"))

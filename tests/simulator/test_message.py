@@ -1,0 +1,61 @@
+"""Unit tests for worm bookkeeping (message.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm, WormState
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.params import STEP
+
+
+class TestWormAccounting:
+    def test_initial_state(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, 3)
+        w = net.make_worm(0, 5, 100)
+        assert w.state is WormState.PENDING
+        assert w.hops == 2
+        assert w.t_created == 0.0
+        assert w.t_injected == -1.0
+
+    def test_network_latency_requires_delivery(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, 3)
+        w = net.make_worm(0, 1, 10)
+        with pytest.raises(ValueError):
+            _ = w.network_latency
+        net.inject(w)
+        sim.run()
+        assert w.network_latency == pytest.approx(w.t_delivered - w.t_injected)
+
+    def test_blocked_time_accumulates_across_blocks(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, 4, timings=STEP)
+        # three worms all wanting channel (0, 3): the last blocks twice
+        a = net.make_worm(0, 0b1000, 1)
+        b = net.make_worm(0, 0b1001, 1)
+        c = net.make_worm(0, 0b1010, 1)
+        for w in (a, b, c):
+            net.inject(w)
+        sim.run()
+        assert a.blocked_time == 0.0
+        assert b.blocked_time == pytest.approx(1.0)
+        assert c.blocked_time == pytest.approx(2.0)
+
+    def test_mark_unblocked_without_block_is_noop(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, 3)
+        w = net.make_worm(0, 1, 10)
+        w.mark_unblocked(5.0)
+        assert w.blocked_time == 0.0
+
+    def test_held_count_tracks_prefix(self):
+        sim = Simulator()
+        net = WormholeNetwork(sim, 4, timings=STEP)
+        w = net.make_worm(0, 0b1111, 4)
+        net.inject(w)
+        sim.run()
+        assert w.held == 4  # all four path channels were acquired
+        assert w.state is WormState.DELIVERED

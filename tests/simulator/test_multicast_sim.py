@@ -1,0 +1,166 @@
+"""End-to-end simulator tests: multicast trees through the timed model,
+including the STEP cross-validation against the abstract scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.multicast import (
+    ALL_PORT,
+    ONE_PORT,
+    Combine,
+    Maxport,
+    UCube,
+    WSort,
+    k_port,
+)
+from repro.simulator import NCUBE2, STEP, Timings, simulate_multicast
+from tests.conftest import multicast_cases
+
+FIG3_DESTS = [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+PAPER_ALGS = [UCube(), Maxport(), Combine(), WSort()]
+
+
+class TestStepCrossValidation:
+    """Under STEP timings (unit cost per unicast, zero overheads) the
+    simulated delivery time of every destination must equal its step in
+    the greedy schedule -- the simulator and the analytical scheduler
+    are two independent implementations of the same semantics."""
+
+    @pytest.mark.parametrize("alg", PAPER_ALGS, ids=lambda a: a.name)
+    def test_fig3_destinations(self, alg):
+        tree = alg.build_tree(4, 0, FIG3_DESTS)
+        sched = tree.schedule(ALL_PORT)
+        res = simulate_multicast(tree, size=1, timings=STEP, ports=ALL_PORT, trace=True)
+        for d in FIG3_DESTS:
+            assert res.delays[d] == pytest.approx(sched.dest_steps[d])
+        assert res.network.trace.overlapping_pairs() == []
+
+    @pytest.mark.parametrize("alg", PAPER_ALGS, ids=lambda a: a.name)
+    @given(case=multicast_cases(max_n=5))
+    def test_random_all_port(self, alg, case):
+        n, source, dests = case
+        tree = alg.build_tree(n, source, dests)
+        sched = tree.schedule(ALL_PORT)
+        res = simulate_multicast(tree, size=1, timings=STEP, ports=ALL_PORT)
+        for d in dests:
+            assert res.delays[d] == pytest.approx(sched.dest_steps[d])
+
+    @pytest.mark.parametrize("alg", PAPER_ALGS, ids=lambda a: a.name)
+    @given(case=multicast_cases(max_n=4))
+    def test_random_one_port(self, alg, case):
+        n, source, dests = case
+        tree = alg.build_tree(n, source, dests)
+        sched = tree.schedule(ONE_PORT)
+        res = simulate_multicast(tree, size=1, timings=STEP, ports=ONE_PORT)
+        for d in dests:
+            assert res.delays[d] == pytest.approx(sched.dest_steps[d])
+
+
+class TestZeroBlocking:
+    """Maxport and W-sort route every sender's unicasts into disjoint
+    subcubes, so their worms must never block, for any message size or
+    port model -- the strongest run-time expression of Theorems 1/2/6."""
+
+    @pytest.mark.parametrize("alg", [Maxport(), WSort()], ids=lambda a: a.name)
+    @given(case=multicast_cases(max_n=6))
+    def test_no_blocking_all_port(self, alg, case):
+        n, source, dests = case
+        tree = alg.build_tree(n, source, dests)
+        res = simulate_multicast(tree, size=512, timings=NCUBE2, ports=ALL_PORT)
+        assert res.total_blocked_time == 0.0
+
+    @pytest.mark.parametrize("alg", PAPER_ALGS, ids=lambda a: a.name)
+    @given(case=multicast_cases(max_n=5))
+    def test_one_port_never_blocks(self, alg, case):
+        """On one-port nodes sends serialize at the injection port, so
+        contention-free algorithms show zero *channel* blocking."""
+        n, source, dests = case
+        tree = alg.build_tree(n, source, dests)
+        res = simulate_multicast(tree, size=256, timings=NCUBE2, ports=ONE_PORT)
+        assert res.total_blocked_time == 0.0
+
+
+class TestDelays:
+    def test_single_destination_closed_form(self):
+        tree = UCube().build_tree(4, 0, [0b1111])
+        res = simulate_multicast(tree, size=4096, timings=NCUBE2, ports=ALL_PORT)
+        assert res.delays[0b1111] == pytest.approx(NCUBE2.unicast_latency(4096, 4))
+
+    def test_avg_and_max(self):
+        tree = WSort().build_tree(4, 0, FIG3_DESTS)
+        res = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert 0 < res.avg_delay <= res.max_delay
+        assert res.max_delay == max(res.delays[d] for d in FIG3_DESTS)
+        assert res.completion_time >= res.max_delay
+
+    def test_all_port_beats_one_port_on_average(self):
+        tree = WSort().build_tree(5, 0, list(range(1, 32)))
+        one = simulate_multicast(tree, 4096, NCUBE2, ONE_PORT)
+        allp = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert allp.avg_delay < one.avg_delay
+
+    def test_k_port_between_extremes(self):
+        tree = WSort().build_tree(5, 0, list(range(1, 32)))
+        one = simulate_multicast(tree, 4096, NCUBE2, ONE_PORT).avg_delay
+        two = simulate_multicast(tree, 4096, NCUBE2, k_port(2)).avg_delay
+        allp = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT).avg_delay
+        assert allp <= two <= one
+
+    def test_message_size_scales_delay(self):
+        tree = WSort().build_tree(4, 0, FIG3_DESTS)
+        small = simulate_multicast(tree, 64, NCUBE2, ALL_PORT).max_delay
+        large = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT).max_delay
+        assert large > small
+
+    def test_deterministic(self):
+        tree = Combine().build_tree(5, 3, [1, 2, 8, 9, 17, 30])
+        r1 = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        r2 = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert r1.delays == r2.delays
+
+    def test_empty_tree(self):
+        from repro.multicast import MulticastTree
+
+        tree = MulticastTree(3, 0, [])
+        res = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert res.max_delay == 0.0
+        assert res.avg_delay == 0.0
+
+    @given(case=multicast_cases(max_n=5))
+    def test_every_destination_delivered_once(self, case):
+        n, source, dests = case
+        tree = Combine().build_tree(n, source, dests)
+        res = simulate_multicast(tree, 128, NCUBE2, ALL_PORT)
+        assert set(res.delays) == set(dests)
+        assert all(res.delays[d] > 0 for d in dests)
+
+    @given(case=multicast_cases(max_n=5))
+    def test_ucube_one_port_delay_structure(self, case):
+        """One-port U-cube delay grows stepwise: max delay is close to
+        max_step * (per-step time) for 4 KB messages."""
+        n, source, dests = case
+        tree = UCube().build_tree(n, source, dests)
+        steps = tree.schedule(ONE_PORT).max_step
+        res = simulate_multicast(tree, 4096, NCUBE2, ONE_PORT)
+        per_step_min = NCUBE2.t_setup + 4096 * NCUBE2.t_byte + NCUBE2.t_recv
+        per_step_max = per_step_min + n * NCUBE2.t_hop
+        assert steps * per_step_min * 0.9 <= res.max_delay <= steps * per_step_max * 1.1
+
+
+class TestFig3dTiming:
+    def test_1011_delayed_behind_1100(self):
+        """The Fig. 3(d) effect in continuous time: U-cube's worm to 1011
+        blocks behind the worm to 1100 on an all-port machine."""
+        tree = UCube().build_tree(4, 0, FIG3_DESTS)
+        res = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert res.total_blocked_time > 0
+        assert res.delays[0b1011] > res.delays[0b1100]
+
+    def test_wsort_removes_the_blocking(self):
+        tree = WSort().build_tree(4, 0, FIG3_DESTS)
+        res = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        assert res.total_blocked_time == 0.0
+        u = simulate_multicast(UCube().build_tree(4, 0, FIG3_DESTS), 4096, NCUBE2, ALL_PORT)
+        assert res.max_delay < u.max_delay

@@ -1,0 +1,95 @@
+"""Unit tests for the host (CPU + injection ports) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.message import Worm, WormState
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.node import HostNode
+from repro.simulator.params import Timings
+
+
+def make_host(port_limit=2, timings=Timings(t_setup=10, t_recv=5, t_byte=1.0, t_hop=0)):
+    sim = Simulator()
+    received = []
+
+    def on_delivered(worm: Worm) -> None:
+        hosts[worm.src].release_port()
+        hosts[worm.dst].deliver(worm)
+
+    net = WormholeNetwork(sim, 4, timings=timings, on_delivered=on_delivered)
+    hosts = {
+        u: HostNode(net, u, port_limit, lambda h, w: received.append((h.address, w.uid)))
+        for u in range(16)
+    }
+    return sim, net, hosts, received
+
+
+class TestCpuSetupSerialization:
+    def test_sends_issued_t_setup_apart(self):
+        sim, net, hosts, _ = make_host(port_limit=4)
+        hosts[0].submit_sends([(1, 10, None), (2, 10, None), (4, 10, None)], 0.0)
+        sim.run()
+        inject_times = sorted(w.t_injected for w in net.worms)
+        assert inject_times == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_second_batch_waits_for_cpu(self):
+        sim, net, hosts, _ = make_host(port_limit=4)
+        hosts[0].submit_sends([(1, 10, None)], 0.0)
+        hosts[0].submit_sends([(2, 10, None)], 0.0)  # CPU busy until t=10
+        sim.run()
+        times = sorted(w.t_injected for w in net.worms)
+        assert times == pytest.approx([10.0, 20.0])
+
+    def test_ready_time_respected(self):
+        sim, net, hosts, _ = make_host()
+        hosts[0].submit_sends([(1, 10, None)], ready_time=100.0)
+        sim.run()
+        assert net.worms[0].t_injected == pytest.approx(110.0)
+
+
+class TestPortLimits:
+    def test_third_send_waits_for_port(self):
+        sim, net, hosts, _ = make_host(port_limit=2)
+        hosts[0].submit_sends([(1, 100, None), (2, 100, None), (4, 100, None)], 0.0)
+        sim.run()
+        third = net.worms[2]
+        # worm 0 injected at 10, delivered at 110; the third send's setup
+        # finished at t=30 but no port was free until t=110
+        assert third.t_injected == pytest.approx(110.0)
+
+    def test_release_port_reinjects_fifo(self):
+        sim, net, hosts, _ = make_host(port_limit=1)
+        hosts[0].submit_sends([(1, 50, None), (2, 50, None), (4, 50, None)], 0.0)
+        sim.run()
+        order = [(w.t_injected, w.dst) for w in net.worms]
+        assert order == sorted(order)
+        assert [dst for _, dst in order] == [1, 2, 4]
+
+
+class TestReceiveSide:
+    def test_recv_overhead_applied(self):
+        sim, net, hosts, received = make_host()
+        hosts[0].submit_sends([(1, 10, None)], 0.0)
+        sim.run()
+        w = net.worms[0]
+        assert w.state is WormState.RECEIVED
+        # injected 10, 1 hop t_hop=0, 10 bytes -> delivered 20, +5 recv
+        assert w.t_received == pytest.approx(25.0)
+        assert received == [(1, w.uid)]
+
+    def test_wrong_destination_rejected(self):
+        sim, net, hosts, _ = make_host()
+        w = net.make_worm(0, 1, 10)
+        with pytest.raises(ValueError):
+            hosts[2].deliver(w)
+
+    def test_sent_and_received_lists(self):
+        sim, net, hosts, _ = make_host()
+        hosts[0].submit_sends([(1, 10, None)], 0.0)
+        sim.run()
+        assert len(hosts[0].sent) == 1
+        assert len(hosts[1].received) == 1
+        assert hosts[0].sent[0] is hosts[1].received[0]

@@ -1,0 +1,51 @@
+"""Tests for the channel-occupancy timeline renderer."""
+
+from __future__ import annotations
+
+from repro.multicast import ALL_PORT, UCube, WSort
+from repro.simulator import STEP, simulate_multicast
+from repro.simulator.timeline import render_timeline
+from repro.simulator.trace import ChannelTrace
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert "no channel activity" in render_timeline(ChannelTrace(), 4)
+
+    def test_renders_all_channels(self):
+        tree = WSort().build_tree(4, 0, [1, 3, 5, 7, 11, 12, 14, 15])
+        res = simulate_multicast(tree, size=1, timings=STEP, ports=ALL_PORT, trace=True)
+        out = render_timeline(res.network.trace, 4)
+        # one row per used channel
+        used = {r.arc for r in res.network.trace.records}
+        assert out.count("|") == 2 * len(used)
+        assert "0000.d3" in out
+
+    def test_glyphs_and_legend(self):
+        tree = UCube().build_tree(3, 0, [1, 2, 4])
+        res = simulate_multicast(tree, size=1, timings=STEP, trace=True)
+        out = render_timeline(res.network.trace, 3)
+        assert "worm0" in out
+        assert "channel occupancy" in out
+
+    def test_blocking_visible_as_later_start(self):
+        """Under U-cube-on-all-port the blocked worm's tenure on the
+        shared channel begins after the first worm's ends."""
+        tree = UCube().build_tree(
+            4, 0, [0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111]
+        )
+        res = simulate_multicast(tree, size=1, timings=STEP, trace=True)
+        shared = [(r.worm_uid, r.t_start, r.t_end)
+                  for r in res.network.trace.records if r.arc == (0b0111, 3)]
+        assert len(shared) == 2
+        shared.sort(key=lambda t: t[1])
+        assert shared[0][2] <= shared[1][1] + 1e-9
+        out = render_timeline(res.network.trace, 4)
+        assert "0111.d3" in out
+
+    def test_width_clamp(self):
+        tree = WSort().build_tree(3, 0, [1, 2])
+        res = simulate_multicast(tree, size=1, timings=STEP, trace=True)
+        out = render_timeline(res.network.trace, 3, width=20)
+        body_lines = [ln for ln in out.splitlines() if "|" in ln]
+        assert all(len(ln.split("|")[1]) == 20 for ln in body_lines)

@@ -1,0 +1,75 @@
+"""Tests for simulator-vs-analytical-model validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.multicast import ALL_PORT, ONE_PORT, Maxport, MulticastTree, UCube, WSort
+from repro.simulator import NCUBE2, Timings, simulate_multicast
+from repro.simulator.validation import predict_delays, validate_against_model
+from tests.conftest import multicast_cases
+
+
+class TestPredictDelays:
+    def test_single_unicast_closed_form(self):
+        tree = MulticastTree(4, 0, [0b1111])
+        tree.add_send(0, 0b1111)
+        pred = predict_delays(tree, size=4096)
+        assert pred[0b1111] == pytest.approx(NCUBE2.unicast_latency(4096, 4))
+
+    def test_chain_accumulates(self):
+        tree = MulticastTree(3, 0, [1, 3])
+        tree.add_send(0, 1, chain=(3,))
+        tree.add_send(1, 3)
+        pred = predict_delays(tree, size=100)
+        one = NCUBE2.unicast_latency(100, 1)
+        assert pred[1] == pytest.approx(one)
+        assert pred[3] == pytest.approx(2 * one)
+
+    def test_one_port_serialization(self):
+        tree = MulticastTree(3, 0, [1, 2, 4])
+        for d in (4, 2, 1):
+            tree.add_send(0, d)
+        pred = predict_delays(tree, size=100, ports=ONE_PORT)
+        # each successive send waits for the previous delivery
+        times = sorted(pred.values())
+        assert times[1] > times[0] and times[2] > times[1]
+
+    def test_unordered_tree_rejected(self):
+        tree = MulticastTree(3, 0, [1, 3])
+        tree.add_send(1, 3)  # child before parent
+        tree.add_send(0, 1)
+        with pytest.raises(ValueError):
+            predict_delays(tree)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alg", [Maxport(), WSort()], ids=lambda a: a.name)
+    @given(case=multicast_cases(max_n=6))
+    def test_contention_free_algorithms_match_exactly(self, alg, case):
+        """For distinct-channel algorithms the event simulator equals
+        the closed-form model to float precision."""
+        n, source, dests = case
+        tree = alg.build_tree(n, source, dests)
+        report = validate_against_model(tree, size=2048)
+        assert report.ok, f"max rel error {report.max_rel_error}"
+
+    @given(case=multicast_cases(max_n=5))
+    def test_simulator_never_undercuts_model(self, case):
+        """Blocking can only add delay: simulated >= predicted for every
+        algorithm and destination."""
+        n, source, dests = case
+        for alg in (UCube(), Maxport(), WSort()):
+            tree = alg.build_tree(n, source, dests)
+            sim = simulate_multicast(tree, 2048, NCUBE2, ALL_PORT)
+            pred = predict_delays(tree, 2048, NCUBE2, ALL_PORT)
+            for d in dests:
+                assert sim.delays[d] >= pred[d] - 1e-6
+
+    def test_custom_timings(self):
+        t = Timings(t_setup=10, t_recv=5, t_byte=0.1, t_hop=1)
+        tree = WSort().build_tree(4, 0, [1, 3, 5, 7, 11, 12, 14, 15])
+        report = validate_against_model(tree, size=512, timings=t)
+        assert report.ok
+        assert report.destinations == 8

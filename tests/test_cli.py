@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_algorithms_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ucube", "maxport", "combine", "wsort", "fig9", "fig14"):
+            assert name in out
+
+
+class TestTree:
+    def test_prints_tree(self, capsys):
+        rc = main(["tree", "-n", "4", "-d", "1,3,5,7,11,12,14,15", "-a", "wsort"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "steps: 2" in out
+        assert "contention-free" in out
+
+    def test_hex_and_binary_destinations(self, capsys):
+        rc = main(["tree", "-n", "4", "-d", "0b0101 0x0b 7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 destination(s)" in out
+
+    def test_one_port(self, capsys):
+        rc = main(["tree", "-n", "4", "-d", "1,2,3,4,5,6,7,8", "-a", "ucube", "-p", "one"])
+        assert rc == 0
+        assert "steps: 4" in capsys.readouterr().out
+
+    def test_simulate_flag(self, capsys):
+        rc = main(["tree", "-n", "4", "-d", "1,3,5", "--simulate"])
+        assert rc == 0
+        assert "simulated" in capsys.readouterr().out
+
+    def test_ascending(self, capsys):
+        rc = main(["tree", "-n", "4", "-d", "1,3,5", "--ascending"])
+        assert rc == 0
+
+
+class TestExperiment:
+    def test_fig9_runs(self, capsys, monkeypatch):
+        # shrink by forcing fast mode (the default)
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        rc = main(["experiment", "fig9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "wsort" in out
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+
+class TestReport:
+    def test_report_single_figure(self, capsys):
+        rc = main(["report", "--figures", "fig11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "| PASS |" in out
+        assert "FAIL" not in out
+
+
+class TestTreeTimeline:
+    def test_timeline_rendered(self, capsys):
+        rc = main(["tree", "-n", "4", "-d", "1,3,5", "--timeline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "channel occupancy" in out
+        assert "worm0" in out
+
+
+class TestCollective:
+    @pytest.mark.parametrize(
+        "op", ["broadcast", "scatter", "gather", "allgather", "reduce", "allreduce", "barrier"]
+    )
+    def test_ops_run(self, capsys, op):
+        rc = main(["collective", op, "-n", "3", "--size", "64"])
+        assert rc == 0
+        assert op in capsys.readouterr().out
+
+    def test_multicast_with_destinations(self, capsys):
+        rc = main(["collective", "multicast", "-n", "4", "-d", "1,5,9", "--size", "128"])
+        assert rc == 0
+        assert "multicast" in capsys.readouterr().out

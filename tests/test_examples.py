@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs and prints its conclusions."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    saved = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "wsort" in out and "ucube" in out
+    assert "contention-free" in out
+    assert "2 steps" in out or "steps: 2" in out
+
+
+@pytest.mark.slow
+def test_broadcast_scaling(capsys):
+    out = run_example("broadcast_scaling.py", capsys)
+    assert "1024" in out  # reaches the 10-cube row
+    assert "average delay" in out
+
+
+def test_data_redistribution(capsys):
+    out = run_example("data_redistribution.py", capsys)
+    assert "scatter rows" in out
+    assert "TOTAL" in out
+
+
+def test_custom_algorithm(capsys):
+    out = run_example("custom_algorithm.py", capsys)
+    assert "greedy-chain" in out
+    assert "wsort" in out
+
+
+def test_collective_survey(capsys):
+    out = run_example("collective_survey.py", capsys)
+    assert "alltoall" in out and "barrier" in out
+    assert "256" in out  # reaches the 8-cube row
+
+
+def test_optimal_broadcast(capsys):
+    out = run_example("optimal_broadcast.py", capsys)
+    assert "nESBT" in out
+    assert "binomial" in out
+
+
+def test_mesh_multicast(capsys):
+    out = run_example("mesh_multicast.py", capsys)
+    assert "free" in out
+    assert "VIOLATED" not in out
+
+
+def test_deadlock_demo(capsys):
+    out = run_example("deadlock_demo.py", capsys)
+    assert "deadlock-free: True" in out
+    assert "circular wait" in out
+
+
+def test_stencil_exchange(capsys):
+    out = run_example("stencil_exchange.py", capsys)
+    assert "Gray-code embedding" in out
+    assert "row-major placement" in out
+    # the embedding run must show zero blocking
+    gray_line = next(ln for ln in out.splitlines() if "Gray-code" in ln)
+    assert "blocking        0 us" in gray_line
