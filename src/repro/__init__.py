@@ -47,6 +47,7 @@ from repro.multicast import (
     verify_multicast,
     weighted_sort,
 )
+from repro.obs import MetricsRegistry, RunRecord
 
 __version__ = "1.0.0"
 
@@ -57,11 +58,13 @@ __all__ = [
     "DimensionalSAF",
     "HypercubeCollectives",
     "Maxport",
+    "MetricsRegistry",
     "MulticastAlgorithm",
     "MulticastTree",
     "ONE_PORT",
     "PortModel",
     "ResolutionOrder",
+    "RunRecord",
     "Schedule",
     "SeparateAddressing",
     "Subcube",

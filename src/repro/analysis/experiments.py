@@ -14,7 +14,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from statistics import mean
+from time import perf_counter
 from typing import Callable
+
+from repro.obs import sink as _telemetry_sink
+from repro.obs.telemetry import RunRecord, new_run_id
 
 from repro.analysis.delay import delay_experiment
 from repro.analysis.steps import stepwise_experiment
@@ -377,10 +381,69 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 def run_experiment(exp_id: str, fast: bool | None = None) -> Table:
     """Run a registered experiment by id (``fig9`` ... ``fig14``, or an
-    ablation id)."""
+    ablation id).
+
+    When a telemetry sink is active (``REPRO_TELEMETRY`` or the CLI's
+    ``--telemetry``), one ``kind="experiment-point"``
+    :class:`~repro.obs.telemetry.RunRecord` is emitted per x-axis point
+    of the figure, carrying that point's value for every curve.
+    """
     try:
         exp = EXPERIMENTS[exp_id]
     except KeyError:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
-    return exp.run(fast)
+    if fast is None:
+        fast = default_fast()
+    wall_start = perf_counter()
+    table = exp.run(fast)
+    wall_seconds = perf_counter() - wall_start
+    sink = _telemetry_sink.get_sink()
+    if sink is not None:
+        _emit_table_points(sink, exp, table, fast, wall_seconds)
+    return table
+
+
+def _emit_table_points(
+    sink, exp: Experiment, table: Table, fast: bool, wall_seconds: float
+) -> None:
+    """One experiment-point record per x value of the result table."""
+    n = _EXPERIMENT_CUBE_DIMS.get(exp.id, 0)
+    for i, x in enumerate(table.x_values):
+        sink.write(
+            RunRecord(
+                run_id=new_run_id(),
+                kind="experiment-point",
+                n=n,
+                algorithm=exp.id,
+                wall_seconds=wall_seconds,
+                extra={
+                    "experiment": exp.id,
+                    "title": table.title,
+                    "fast": fast,
+                    "point_index": i,
+                    "points": len(table.x_values),
+                    "x_label": table.x_label,
+                    "x": x,
+                    "columns": {name: col[i] for name, col in table.columns.items()},
+                    "wall_is_experiment_total": True,
+                },
+            )
+        )
+
+
+#: Cube dimension each experiment sweeps (for the RunRecord ``n`` field).
+_EXPERIMENT_CUBE_DIMS: dict[str, int] = {
+    "fig9": 6,
+    "fig10": 10,
+    "fig11": 5,
+    "fig12": 5,
+    "fig13": 10,
+    "fig14": 10,
+    "ablation-ports": 6,
+    "ablation-wsort": 6,
+    "ablation-msgsize": 6,
+    "ablation-resolution": 6,
+    "ablation-concurrent": 6,
+    "ablation-sensitivity": 6,
+}

@@ -6,23 +6,43 @@ Subcommands:
 - ``tree`` -- build and print one multicast tree and its schedule.
 - ``experiment`` -- run a figure reproduction and print its table.
 - ``collective`` -- time one collective operation.
+- ``stats`` -- replay one multicast fully instrumented (metrics,
+  profiling probes, channel rollups) and print/export the telemetry.
+
+``experiment``, ``collective``, and ``stats`` accept ``--telemetry
+PATH`` to export structured :class:`~repro.obs.telemetry.RunRecord`
+JSON lines (equivalently: set the ``REPRO_TELEMETRY`` environment
+variable; see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.collectives.api import HypercubeCollectives
 from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
 from repro.multicast.registry import ALGORITHMS, get_algorithm
+from repro.obs import sink as telemetry_sink
 from repro.simulator.params import NCUBE2
 from repro.simulator.run import simulate_multicast
 
 __all__ = ["main"]
+
+
+def _with_telemetry(args: argparse.Namespace, fn: Callable):
+    """Run ``fn`` with ``--telemetry PATH`` installed as the JSONL sink."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return fn()
+    previous = telemetry_sink.configure(path)
+    try:
+        return fn()
+    finally:
+        telemetry_sink.configure(previous)
 
 
 def _parse_ports(text: str):
@@ -78,7 +98,7 @@ def _cmd_tree(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    table = run_experiment(args.id, fast=not args.full)
+    table = _with_telemetry(args, lambda: run_experiment(args.id, fast=not args.full))
     if args.json:
         print(table.to_json())
         return 0
@@ -100,6 +120,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_collective(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, lambda: _run_collective(args))
+
+
+def _run_collective(args: argparse.Namespace) -> int:
     comm = HypercubeCollectives(
         args.n, ports=_parse_ports(args.ports), algorithm=args.algorithm
     )
@@ -121,6 +145,115 @@ def _cmd_collective(args: argparse.Namespace) -> int:
         }[op]
         r = runner()
         print(f"{op}: completion {r.completion_time:.0f} us ({r.events} events)")
+    return 0
+
+
+def _format_metric(name: str, snap: dict) -> str:
+    kind = snap.get("type")
+    if kind == "counter":
+        return f"  {name}: {snap['value']:g}"
+    if kind == "gauge":
+        return f"  {name}: {snap['value']:g} (min {snap['min']:g}, max {snap['max']:g})"
+    if kind == "timer":
+        return (
+            f"  {name}: {snap['total_seconds']:.6f} s over {snap['count']} span(s)"
+        )
+    if kind == "histogram":
+        return (
+            f"  {name}: count {snap['count']}, mean {snap['mean']:.1f}, "
+            f"min {snap['min']:.1f}, max {snap['max']:.1f}"
+        )
+    return f"  {name}: {snap}"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.probes import default_probes, probe_summaries
+    from repro.obs.rollup import channel_rollup
+    from repro.obs.sink import JsonlSink, capture
+
+    alg = get_algorithm(args.algorithm)
+    dests = _parse_dests(args.destinations)
+    order = ResolutionOrder.ASCENDING if args.ascending else ResolutionOrder.DESCENDING
+    tree = alg.build_tree(args.n, args.source, dests, order)
+    ports = _parse_ports(args.ports)
+
+    registry = MetricsRegistry()
+    probes = default_probes()
+    # capture the driver's own record so we can enrich it with probe
+    # and channel-level data before exporting
+    with capture() as mem:
+        res = simulate_multicast(
+            tree,
+            args.size,
+            NCUBE2,
+            ports,
+            trace=True,
+            metrics=registry,
+            probes=probes,
+            label=f"stats/{alg.name}",
+        )
+    record = mem.records[0]
+    record.extra["probes"] = probe_summaries(probes)
+    record.extra["channels"] = channel_rollup(
+        res.network, horizon=res.completion_time, top=args.top
+    )
+
+    if args.telemetry:
+        JsonlSink(args.telemetry).write(record)
+    else:
+        telemetry_sink.emit(record)  # honor REPRO_TELEMETRY if set
+
+    if args.json:
+        print(record.to_json())
+        return 0
+
+    width = args.n
+    print(f"{alg.name} multicast replay in a {args.n}-cube, {ports.name}, {args.size} bytes")
+    print(f"source {args.source:0{width}b}, {len(dests)} destination(s)   run {record.run_id}")
+    print(
+        f"delays: avg {res.avg_delay:.0f} us, max {res.max_delay:.0f} us, "
+        f"completion {res.completion_time:.0f} us"
+    )
+    print(
+        f"events: {res.events}   worms: {len(res.network.worms)}   "
+        f"blocked: {res.total_blocked_time:.0f} us   wall: {record.wall_seconds:.4f} s"
+    )
+    print("metrics:")
+    for name, snap in record.metrics.items():
+        print(_format_metric(name, snap))
+    print("probes:")
+    cb = record.extra["probes"]["callback_time"]
+    print(f"  callback wall time: {cb['total_wall_seconds']:.6f} s")
+    for label, entry in cb["by_callback"].items():
+        print(f"    {label}: {entry['fires']} fire(s), {entry['wall_seconds']:.6f} s")
+    hd = record.extra["probes"]["heap_depth"]
+    print(f"  heap depth: peak {hd['peak']} ({hd['scheduled']} scheduled)")
+    ca = record.extra["probes"]["cancellation"]
+    print(
+        f"  cancellation: {ca['cancelled']}/{ca['scheduled']} "
+        f"({100.0 * ca['cancellation_rate']:.1f}%)"
+    )
+    ch = record.extra["channels"]
+    print(
+        f"channels: {ch['channels_used']} used, {ch['occupancies']} occupanc(ies)"
+    )
+    if ch["hotspot_arcs"]:
+        hot = ", ".join(
+            f"({h['node']:0{width}b},d{h['dim']}) {h['busy_us']:.0f}us"
+            for h in ch["hotspot_arcs"][: args.top]
+        )
+        print(f"  hotspots: {hot}")
+    busy = ch["per_dimension_busy_us"]
+    if busy:
+        print("  per-dim busy:  " + "  ".join(f"d{d}={t:.0f}us" for d, t in busy.items()))
+    blocked = ch["per_dimension_blocked_us"]
+    if blocked:
+        print("  per-dim blocked:  " + "  ".join(f"d{d}={t:.0f}us" for d, t in blocked.items()))
+    else:
+        print("  per-dim blocked: none (contention-free)")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
     return 0
 
 
@@ -152,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--precision", type=int, default=2)
     p_exp.add_argument("--plot", action="store_true", help="also draw an ASCII plot")
     p_exp.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_exp.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="export one RunRecord JSON line per figure point to PATH",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_rep = sub.add_parser("report", help="paper-vs-measured markdown report")
@@ -179,7 +316,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_col.add_argument("--size", type=int, default=4096)
     p_col.add_argument("-a", "--algorithm", default="wsort", choices=sorted(ALGORITHMS))
     p_col.add_argument("-p", "--ports", default="all")
+    p_col.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="export the operation's RunRecord JSON line(s) to PATH",
+    )
     p_col.set_defaults(func=_cmd_collective)
+
+    p_stats = sub.add_parser(
+        "stats", help="replay one multicast with full instrumentation"
+    )
+    p_stats.add_argument("-n", type=int, required=True, help="cube dimension")
+    p_stats.add_argument("-s", "--source", type=int, default=0)
+    p_stats.add_argument(
+        "-d", "--destinations", required=True, help="e.g. '1,3,5' or '0b101 7'"
+    )
+    p_stats.add_argument("-a", "--algorithm", default="wsort", choices=sorted(ALGORITHMS))
+    p_stats.add_argument("-p", "--ports", default="all", help="'one', 'all', or k")
+    p_stats.add_argument("--ascending", action="store_true", help="nCUBE-2 resolution order")
+    p_stats.add_argument("--size", type=int, default=4096, help="message bytes")
+    p_stats.add_argument("--top", type=int, default=5, help="hotspot arcs to show")
+    p_stats.add_argument("--json", action="store_true", help="print the RunRecord JSON")
+    p_stats.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="export the enriched RunRecord JSON line to PATH",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -29,6 +29,7 @@ from repro.collectives.reduction import allreduce_graph, barrier_graph, reduce_g
 from repro.collectives.scatter import gather_graph, scatter_graph
 from repro.multicast.ports import ALL_PORT, PortModel
 from repro.multicast.registry import get_algorithm
+from repro.obs.metrics import MetricsRegistry
 from repro.simulator.params import NCUBE2, Timings
 from repro.simulator.run import MulticastResult, simulate_multicast
 
@@ -45,6 +46,9 @@ class HypercubeCollectives:
         algorithm: registry name of the multicast algorithm used by
             ``multicast`` and ``broadcast`` (default ``"wsort"``).
         order: E-cube resolution order.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            shared by every operation this communicator runs, so delay
+            histograms and event counters aggregate across calls.
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class HypercubeCollectives:
         ports: PortModel = ALL_PORT,
         algorithm: str = "wsort",
         order: ResolutionOrder = ResolutionOrder.DESCENDING,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"hypercube dimension must be >= 1, got {n}")
@@ -62,6 +67,13 @@ class HypercubeCollectives:
         self.ports = ports
         self.order = order
         self.algorithm = get_algorithm(algorithm)
+        self.metrics = metrics
+
+    def _run(self, graph, label: str) -> CommResult:
+        """Execute a comm graph with this communicator's instrumentation."""
+        return simulate_comm(
+            graph, self.timings, self.ports, metrics=self.metrics, label=label
+        )
 
     @property
     def size(self) -> int:
@@ -75,7 +87,14 @@ class HypercubeCollectives:
     ) -> MulticastResult:
         """Deliver ``size`` bytes from ``source`` to ``destinations``."""
         tree = self.algorithm.build_tree(self.n, source, destinations, self.order)
-        return simulate_multicast(tree, size, self.timings, self.ports)
+        return simulate_multicast(
+            tree,
+            size,
+            self.timings,
+            self.ports,
+            metrics=self.metrics,
+            label=f"multicast/{self.algorithm.name}",
+        )
 
     def broadcast(self, root: int = 0, size: int = 4096) -> MulticastResult:
         """Multicast to every other node."""
@@ -89,7 +108,7 @@ class HypercubeCollectives:
         from repro.collectives.esbt import esbt_broadcast_graph
 
         g = esbt_broadcast_graph(self.n, root, size, self.order)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "broadcast_esbt")
 
     def multicast_pipelined(
         self,
@@ -109,34 +128,34 @@ class HypercubeCollectives:
         if segments is None:
             segments = optimal_segments(size, max(1, tree.depth()), self.timings)
         g = pipelined_multicast_graph(tree, size, segments)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, f"multicast_pipelined/{self.algorithm.name}")
 
     def scatter(self, root: int = 0, block_size: int = 1024) -> CommResult:
         """Personalized distribution: block ``u`` ends at node ``u``."""
         g = scatter_graph(self.n, root, block_size, self.order)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "scatter")
 
     # -- many-to-one / many-to-many --------------------------------------
 
     def gather(self, root: int = 0, block_size: int = 1024) -> CommResult:
         """Collect one block per node at ``root``."""
         g = gather_graph(self.n, root, block_size, self.order)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "gather")
 
     def allgather(self, block_size: int = 1024) -> CommResult:
         """Every node ends with every node's block."""
         g = allgather_graph(self.n, block_size, self.order)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "allgather")
 
     def reduce(self, root: int = 0, size: int = 4096) -> CommResult:
         """Element-wise combine one vector per node into ``root``."""
         g = reduce_graph(self.n, root, size, self.order)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "reduce")
 
     def allreduce(self, size: int = 4096) -> CommResult:
         """Combine and distribute the result to every node."""
         g = allreduce_graph(self.n, size, self.order)
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "allreduce")
 
     def subcube(self, sub: "Subcube") -> "SubcubeCommunicator":
         """A communicator restricted to one subcube of this machine.
@@ -157,11 +176,11 @@ class HypercubeCollectives:
             if direct
             else alltoall_graph(self.n, block_size, self.order)
         )
-        return simulate_comm(g, self.timings, self.ports)
+        return self._run(g, "alltoall_direct" if direct else "alltoall")
 
     def barrier(self) -> CommResult:
         """Synchronize all nodes."""
-        return simulate_comm(barrier_graph(self.n, self.order), self.timings, self.ports)
+        return self._run(barrier_graph(self.n, self.order), "barrier")
 
 
 class SubcubeCommunicator:
@@ -224,27 +243,19 @@ class SubcubeCommunicator:
     # -- direct execution -------------------------------------------------
 
     def scatter(self, root_rank: int = 0, block_size: int = 1024) -> CommResult:
-        return simulate_comm(
-            self.scatter_graph(root_rank, block_size), self.parent.timings, self.parent.ports
-        )
+        return self.parent._run(self.scatter_graph(root_rank, block_size), "subcube/scatter")
 
     def gather(self, root_rank: int = 0, block_size: int = 1024) -> CommResult:
-        return simulate_comm(
-            self.gather_graph(root_rank, block_size), self.parent.timings, self.parent.ports
-        )
+        return self.parent._run(self.gather_graph(root_rank, block_size), "subcube/gather")
 
     def allgather(self, block_size: int = 1024) -> CommResult:
-        return simulate_comm(
-            self.allgather_graph(block_size), self.parent.timings, self.parent.ports
-        )
+        return self.parent._run(self.allgather_graph(block_size), "subcube/allgather")
 
     def allreduce(self, size: int = 4096) -> CommResult:
-        return simulate_comm(
-            self.allreduce_graph(size), self.parent.timings, self.parent.ports
-        )
+        return self.parent._run(self.allreduce_graph(size), "subcube/allreduce")
 
     def barrier(self) -> CommResult:
-        return simulate_comm(self.barrier_graph(), self.parent.timings, self.parent.ports)
+        return self.parent._run(self.barrier_graph(), "subcube/barrier")
 
     def multicast(
         self, source_rank: int, destination_ranks: Sequence[int], size: int = 4096
@@ -255,4 +266,11 @@ class SubcubeCommunicator:
             [self.translate(r) for r in destination_ranks],
             self.parent.order,
         )
-        return simulate_multicast(tree, size, self.parent.timings, self.parent.ports)
+        return simulate_multicast(
+            tree,
+            size,
+            self.parent.timings,
+            self.parent.ports,
+            metrics=self.parent.metrics,
+            label=f"subcube/multicast/{self.parent.algorithm.name}",
+        )

@@ -14,17 +14,24 @@ delivery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import mean
-from typing import Iterable, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import ALL_PORT, PortModel
+from repro.obs import sink as _telemetry_sink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunRecord, new_run_id
 from repro.simulator.engine import Simulator
 from repro.simulator.message import Worm
 from repro.simulator.network import WormholeNetwork
 from repro.simulator.node import HostNode
 from repro.simulator.params import NCUBE2, Timings
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.obs.probes import Probe
 
 __all__ = ["CommGraph", "CommResult", "CommSend", "simulate_comm"]
 
@@ -178,9 +185,18 @@ def simulate_comm(
     ports: PortModel = ALL_PORT,
     trace: bool = False,
     max_events: int | None = 10_000_000,
+    metrics: MetricsRegistry | None = None,
+    probes: "Sequence[Probe] | None" = None,
+    label: str | None = None,
 ) -> CommResult:
-    """Execute a :class:`CommGraph` on the wormhole network model."""
-    sim = Simulator()
+    """Execute a :class:`CommGraph` on the wormhole network model.
+
+    ``metrics``, ``probes``, and ``label`` mirror
+    :func:`repro.simulator.run.simulate_multicast`; with a telemetry
+    sink active one ``kind="comm"`` record is emitted per call.
+    """
+    wall_start = perf_counter()
+    sim = Simulator(probes)
     limit = ports.limit(graph.n)
 
     nodes: dict[int, HostNode] = {}
@@ -243,7 +259,7 @@ def simulate_comm(
             f"collective deadlocked: sends never delivered: {undelivered[:10]}"
         )
 
-    return CommResult(
+    result = CommResult(
         graph=graph,
         timings=timings,
         ports=ports,
@@ -253,3 +269,43 @@ def simulate_comm(
         total_blocked_time=network.total_blocked_time,
         events=sim.events_processed,
     )
+
+    wall_seconds = perf_counter() - wall_start
+    if metrics is not None:
+        from repro.simulator.run import record_sim_metrics
+
+        record_sim_metrics(
+            metrics,
+            events=result.events,
+            worms=network.worms,
+            delays=node_done,
+            completion_us=result.completion_time,
+            blocked_us=result.total_blocked_time,
+            wall_seconds=wall_seconds,
+        )
+    telemetry = _telemetry_sink.get_sink()
+    if telemetry is not None:
+        telemetry.write(
+            RunRecord(
+                run_id=new_run_id(),
+                kind="comm",
+                n=graph.n,
+                algorithm=label,
+                ports=ports.name,
+                size=None,
+                timings=asdict(timings),
+                wall_seconds=wall_seconds,
+                sim_time_us=sim.now,
+                events=result.events,
+                metrics=metrics.snapshot() if metrics is not None else {},
+                extra={
+                    "sends": len(graph.sends),
+                    "total_bytes": graph.total_bytes,
+                    "completion_us": result.completion_time,
+                    "avg_node_us": result.avg_node_time,
+                    "total_blocked_us": result.total_blocked_time,
+                    "nodes": len(node_done),
+                },
+            )
+        )
+    return result

@@ -14,7 +14,7 @@ from statistics import mean
 from repro.core.addressing import delta, hamming
 from repro.multicast.base import MulticastTree, Schedule
 
-__all__ = ["TreeStats", "tree_stats"]
+__all__ = ["TreeStats", "schedule_concurrency", "tree_stats"]
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,76 @@
+"""Unified observability layer: metrics, run telemetry, profiling probes.
+
+``repro.obs`` is the one place the reproduction's measurements flow
+through (docs/OBSERVABILITY.md documents schemas and metric names):
+
+- :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges, timers, and fixed-bucket histograms, snapshot-able to plain
+  dicts;
+- :mod:`repro.obs.telemetry` -- the :class:`RunRecord` JSONL envelope
+  every simulation driver and experiment can emit;
+- :mod:`repro.obs.sink` -- JSONL / in-memory sinks plus the
+  ``REPRO_TELEMETRY`` environment toggle and ``--telemetry`` CLI flags;
+- :mod:`repro.obs.probes` -- opt-in event-kernel profiling (per-callback
+  wall time, peak heap depth, cancellation rate);
+- :mod:`repro.obs.rollup` -- channel-level aggregates (hotspot arcs,
+  utilization histogram, per-dimension busy/blocked time) from a
+  :class:`~repro.simulator.trace.ChannelTrace`.
+
+The package is dependency-free (stdlib only, no imports from the
+simulator), and every integration point is opt-in: with no registry, no
+probes, and no sink configured, an instrumented code path performs the
+same operations it did before this layer existed.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.probes import (
+    CallbackTimeProbe,
+    CancellationProbe,
+    HeapDepthProbe,
+    Probe,
+    default_probes,
+    probe_summaries,
+)
+from repro.obs.rollup import (
+    channel_rollup,
+    hotspot_arcs,
+    per_dimension_blocked_time,
+    per_dimension_busy_time,
+    utilization_histogram,
+)
+from repro.obs.sink import JsonlSink, MemorySink, TelemetrySink, capture, configure, get_sink
+from repro.obs.telemetry import RunRecord, new_run_id, summarize_delays
+
+__all__ = [
+    "CallbackTimeProbe",
+    "CancellationProbe",
+    "Counter",
+    "Gauge",
+    "HeapDepthProbe",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "Probe",
+    "RunRecord",
+    "TelemetrySink",
+    "Timer",
+    "capture",
+    "channel_rollup",
+    "configure",
+    "default_probes",
+    "get_sink",
+    "hotspot_arcs",
+    "new_run_id",
+    "per_dimension_blocked_time",
+    "per_dimension_busy_time",
+    "probe_summaries",
+    "summarize_delays",
+    "utilization_histogram",
+]

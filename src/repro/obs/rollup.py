@@ -1,0 +1,125 @@
+"""Channel-level rollups computed from a :class:`ChannelTrace`.
+
+The trace records raw per-channel occupancy intervals; these helpers
+aggregate them into the three views that make algorithm comparisons
+trustworthy (per-phase / per-channel measurement, as in the k-ported
+broadcast literature):
+
+- **hotspot arcs** -- the channels that were busy longest, i.e. where a
+  schedule concentrates traffic;
+- **utilization histogram** -- the distribution of per-channel busy
+  fractions over the run horizon (a contention-free schedule spreads
+  load; a skewed histogram reveals serialization);
+- **per-dimension busy / blocked time** -- E-cube routing resolves
+  dimensions in a fixed order, so imbalance across dimensions is the
+  signature of a bad resolution-order interaction.
+
+Everything here duck-types against the trace (``.records`` of objects
+with ``.arc`` / ``.duration``) and worms (``.blocked_by_dim``), keeping
+``repro.obs`` free of simulator imports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import UTILIZATION_BUCKETS, Histogram
+
+__all__ = [
+    "channel_rollup",
+    "hotspot_arcs",
+    "per_dimension_blocked_time",
+    "per_dimension_busy_time",
+    "utilization_histogram",
+]
+
+
+def _busy_by_arc(trace) -> dict:
+    busy: dict = {}
+    for rec in trace.records:
+        busy[rec.arc] = busy.get(rec.arc, 0.0) + rec.duration
+    return busy
+
+
+def hotspot_arcs(trace, top: int = 10) -> list[tuple[tuple[int, int], float]]:
+    """The ``top`` channels by total busy time, hottest first."""
+    if top < 1:
+        raise ValueError(f"need top >= 1, got {top}")
+    busy = _busy_by_arc(trace)
+    ranked = sorted(busy.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]
+
+
+def utilization_histogram(
+    trace,
+    horizon: float,
+    bounds: Sequence[float] = UTILIZATION_BUCKETS,
+) -> Histogram:
+    """Histogram of per-channel busy fractions over ``[0, horizon]``.
+
+    Channels the run never touched are not counted (the denominator is
+    channels-with-traffic, matching :meth:`ChannelTrace.utilization`).
+    """
+    if horizon <= 0:
+        raise ValueError(f"need a positive horizon, got {horizon}")
+    hist = Histogram("channel_utilization", bounds)
+    for busy in _busy_by_arc(trace).values():
+        hist.observe(busy / horizon)
+    return hist
+
+
+def per_dimension_busy_time(trace) -> dict[int, float]:
+    """Total channel-busy time per hypercube dimension."""
+    by_dim: dict[int, float] = {}
+    for rec in trace.records:
+        dim = rec.arc[1]
+        by_dim[dim] = by_dim.get(dim, 0.0) + rec.duration
+    return dict(sorted(by_dim.items()))
+
+
+def per_dimension_blocked_time(worms: Iterable) -> dict[int, float]:
+    """Total header-blocked time per dimension, summed over worms.
+
+    Worms record which dimension's channel they were waiting on (see
+    :meth:`repro.simulator.message.Worm.mark_blocked`); a contention-free
+    schedule yields an empty dict.
+    """
+    by_dim: dict[int, float] = {}
+    for worm in worms:
+        blocked = getattr(worm, "blocked_by_dim", None)
+        if blocked:
+            for dim, t in blocked.items():
+                by_dim[dim] = by_dim.get(dim, 0.0) + t
+    return dict(sorted(by_dim.items()))
+
+
+def channel_rollup(network, horizon: float | None = None, top: int = 10) -> dict[str, object]:
+    """One JSON-safe dict combining every rollup for a finished run.
+
+    Args:
+        network: a :class:`~repro.simulator.network.WormholeNetwork`
+            (or anything with ``.trace``, ``.worms``, ``.sim``).
+        horizon: utilization denominator; defaults to the simulator's
+            final clock.
+        top: hotspot list length.
+    """
+    trace = network.trace
+    if horizon is None:
+        horizon = network.sim.now
+    rollup: dict[str, object] = {
+        "channels_used": len({rec.arc for rec in trace.records}),
+        "occupancies": len(trace.records),
+        "hotspot_arcs": [
+            {"node": arc[0], "dim": arc[1], "busy_us": busy}
+            for arc, busy in hotspot_arcs(trace, top)
+        ]
+        if trace.records
+        else [],
+        "per_dimension_busy_us": {str(d): t for d, t in per_dimension_busy_time(trace).items()},
+        "per_dimension_blocked_us": {
+            str(d): t for d, t in per_dimension_blocked_time(network.worms).items()
+        },
+    }
+    if horizon > 0 and trace.records:
+        rollup["utilization"] = utilization_histogram(trace, horizon).snapshot()
+    return rollup

@@ -9,13 +9,23 @@ Determinism matters: two events scheduled for the same instant fire in
 scheduling order, so simulation runs are exactly reproducible and the
 unit-cost cross-validation against the abstract step scheduler is
 stable.
+
+The kernel supports optional profiling probes (duck-typed against
+:class:`repro.obs.probes.Probe`): when any are attached it reports each
+scheduled event and times each callback with ``perf_counter``; with none
+attached (the default) the hot path is identical to the un-instrumented
+kernel -- no clock reads, no extra calls.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids an import cycle
+    from repro.obs.probes import Probe
 
 __all__ = ["Event", "Simulator"]
 
@@ -50,11 +60,12 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, probes: "Iterable[Probe] | None" = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._processed = 0
+        self._probes: tuple[Probe, ...] = tuple(probes) if probes else ()
 
     @property
     def now(self) -> float:
@@ -65,6 +76,15 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events fired so far (for instrumentation)."""
         return self._processed
+
+    @property
+    def probes(self) -> "tuple[Probe, ...]":
+        """Attached profiling probes (empty by default)."""
+        return self._probes
+
+    def add_probe(self, probe: "Probe") -> None:
+        """Attach a profiling probe (see :mod:`repro.obs.probes`)."""
+        self._probes = self._probes + (probe,)
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` from now.
@@ -77,6 +97,9 @@ class Simulator:
         ev = Event(self._now + delay, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        if self._probes:
+            for probe in self._probes:
+                probe.on_schedule(self, ev)
         return ev
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
@@ -97,7 +120,14 @@ class Simulator:
                 continue
             self._now = ev.time
             self._processed += 1
-            ev.callback(*ev.args)
+            if self._probes:
+                t0 = perf_counter()
+                ev.callback(*ev.args)
+                elapsed = perf_counter() - t0
+                for probe in self._probes:
+                    probe.on_fire(self, ev, elapsed)
+            else:
+                ev.callback(*ev.args)
             return True
         return False
 

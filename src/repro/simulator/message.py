@@ -54,7 +54,11 @@ class Worm:
 
     # accumulated time the header spent blocked on busy channels
     blocked_time: float = 0.0
+    #: blocked time split by the dimension of the channel waited on
+    #: (allocated lazily -- None until the worm first blocks)
+    blocked_by_dim: dict[int, float] | None = None
     _blocked_since: float = field(default=-1.0, repr=False)
+    _blocked_dim: int = field(default=-1, repr=False)
 
     @property
     def hops(self) -> int:
@@ -68,10 +72,19 @@ class Worm:
             raise ValueError(f"worm {self.uid} not delivered yet")
         return self.t_delivered - self.t_injected
 
-    def mark_blocked(self, now: float) -> None:
+    def mark_blocked(self, now: float, dim: int = -1) -> None:
         self._blocked_since = now
+        self._blocked_dim = dim
 
     def mark_unblocked(self, now: float) -> None:
         if self._blocked_since >= 0:
-            self.blocked_time += now - self._blocked_since
+            span = now - self._blocked_since
+            self.blocked_time += span
+            if self._blocked_dim >= 0:
+                if self.blocked_by_dim is None:
+                    self.blocked_by_dim = {}
+                self.blocked_by_dim[self._blocked_dim] = (
+                    self.blocked_by_dim.get(self._blocked_dim, 0.0) + span
+                )
             self._blocked_since = -1.0
+            self._blocked_dim = -1

@@ -13,17 +13,24 @@ contention-aware algorithms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from statistics import mean
-from typing import Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
 
 from repro.multicast.base import MulticastTree
 from repro.multicast.ports import ALL_PORT, PortModel
+from repro.obs import sink as _telemetry_sink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunRecord, new_run_id
 from repro.simulator.engine import Simulator
 from repro.simulator.message import Worm
 from repro.simulator.network import WormholeNetwork
 from repro.simulator.node import HostNode
 from repro.simulator.params import NCUBE2, Timings
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.obs.probes import Probe
 
 __all__ = ["ConcurrentResult", "simulate_concurrent_multicasts"]
 
@@ -69,6 +76,9 @@ def simulate_concurrent_multicasts(
     ports: PortModel = ALL_PORT,
     start_times: Sequence[float] | None = None,
     max_events: int | None = 10_000_000,
+    metrics: MetricsRegistry | None = None,
+    probes: "Sequence[Probe] | None" = None,
+    label: str | None = None,
 ) -> ConcurrentResult:
     """Run several multicast trees over one wormhole network.
 
@@ -78,6 +88,12 @@ def simulate_concurrent_multicasts(
 
     Args:
         start_times: per-tree injection start (default: all at 0.0).
+        metrics: optional registry to record run metrics into.
+        probes: optional event-kernel profiling probes.
+        label: algorithm/operation name stamped on exported telemetry.
+
+    When a telemetry sink is active, one ``kind="concurrent"``
+    :class:`~repro.obs.telemetry.RunRecord` is emitted per call.
     """
     if not trees:
         raise ValueError("need at least one multicast tree")
@@ -92,7 +108,8 @@ def simulate_concurrent_multicasts(
     if any(s < 0 for s in starts):
         raise ValueError("start times must be non-negative")
 
-    sim = Simulator()
+    wall_start = perf_counter()
+    sim = Simulator(probes)
     limit = ports.limit(n)
     nodes: dict[int, HostNode] = {}
     delays: list[dict[int, float]] = [{} for _ in trees]
@@ -138,10 +155,54 @@ def simulate_concurrent_multicasts(
                 f"multicast {ti} never reached destinations {sorted(missing)}"
             )
 
-    return ConcurrentResult(
+    result = ConcurrentResult(
         trees=list(trees),
         delays=delays,
         start_times=starts,
         total_blocked_time=network.total_blocked_time,
         events=sim.events_processed,
     )
+
+    wall_seconds = perf_counter() - wall_start
+    if metrics is not None:
+        from repro.simulator.run import record_sim_metrics
+
+        merged = {
+            (ti, dst): d for ti, per in enumerate(delays) for dst, d in per.items()
+        }
+        record_sim_metrics(
+            metrics,
+            events=result.events,
+            worms=network.worms,
+            delays=merged,
+            completion_us=result.makespan,
+            blocked_us=result.total_blocked_time,
+            wall_seconds=wall_seconds,
+        )
+    telemetry = _telemetry_sink.get_sink()
+    if telemetry is not None:
+        telemetry.write(
+            RunRecord(
+                run_id=new_run_id(),
+                kind="concurrent",
+                n=n,
+                algorithm=label,
+                ports=ports.name,
+                size=size,
+                timings=asdict(timings),
+                wall_seconds=wall_seconds,
+                sim_time_us=sim.now,
+                events=result.events,
+                metrics=metrics.snapshot() if metrics is not None else {},
+                extra={
+                    "operations": len(trees),
+                    "start_times": starts,
+                    "avg_delays_us": result.avg_delays,
+                    "max_delays_us": result.max_delays,
+                    "makespan_us": result.makespan,
+                    "total_blocked_us": result.total_blocked_time,
+                    "worms": len(network.worms),
+                },
+            )
+        )
+    return result

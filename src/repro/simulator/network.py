@@ -143,7 +143,7 @@ class WormholeNetwork:
             return
         ch = self.channel(worm.arcs[worm.hop])
         if ch.busy:
-            worm.mark_blocked(self.sim.now)
+            worm.mark_blocked(self.sim.now, ch.arc[1])
             ch.queue.append(worm)
         else:
             self._occupy(worm, ch)

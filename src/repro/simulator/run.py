@@ -14,18 +14,59 @@ multicast message and its receipt at the destination").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from statistics import mean
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
 
 from repro.multicast.base import MulticastTree
 from repro.multicast.ports import ALL_PORT, PortModel
+from repro.obs import sink as _telemetry_sink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunRecord, new_run_id, summarize_delays
 from repro.simulator.engine import Simulator
 from repro.simulator.message import Worm
 from repro.simulator.network import WormholeNetwork
 from repro.simulator.node import HostNode
 from repro.simulator.params import NCUBE2, Timings
 
-__all__ = ["MulticastResult", "simulate_multicast"]
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.obs.probes import Probe
+
+__all__ = ["MulticastResult", "record_sim_metrics", "simulate_multicast"]
+
+
+def record_sim_metrics(
+    metrics: MetricsRegistry,
+    *,
+    events: int,
+    worms: Sequence[Worm],
+    delays: dict | None,
+    completion_us: float,
+    blocked_us: float,
+    wall_seconds: float,
+) -> None:
+    """Record one simulated run into a registry (shared metric names).
+
+    Metric names are documented in docs/OBSERVABILITY.md; every
+    simulation driver funnels through here so that registries attached
+    across many runs (e.g. one per :class:`HypercubeCollectives`)
+    aggregate consistently.
+    """
+    metrics.counter("sim.runs").inc()
+    metrics.counter("sim.events").inc(events)
+    metrics.counter("sim.worms").inc(len(worms))
+    metrics.counter("sim.blocked_us").inc(blocked_us)
+    metrics.gauge("sim.completion_us").set(completion_us)
+    metrics.timer("sim.wall").record(wall_seconds)
+    if delays:
+        delay_hist = metrics.histogram("sim.delay_us")
+        for d in delays.values():
+            delay_hist.observe(d)
+    blocked_hist = metrics.histogram("sim.worm_blocked_us")
+    for w in worms:
+        if w.blocked_time > 0:
+            blocked_hist.observe(w.blocked_time)
 
 
 @dataclass(slots=True)
@@ -66,6 +107,9 @@ def simulate_multicast(
     ports: PortModel = ALL_PORT,
     trace: bool = False,
     max_events: int | None = 10_000_000,
+    metrics: MetricsRegistry | None = None,
+    probes: "Sequence[Probe] | None" = None,
+    label: str | None = None,
 ) -> MulticastResult:
     """Run one multicast tree through the wormhole network model.
 
@@ -77,11 +121,21 @@ def simulate_multicast(
             cross-check.
         ports: injection-port model for every node.
         trace: record channel occupancies for auditing.
+        metrics: optional registry to record run metrics into.
+        probes: optional event-kernel profiling probes.
+        label: algorithm/operation name stamped on exported telemetry.
 
     Returns:
         Per-destination delays plus blocking/trace instrumentation.
+
+    When a telemetry sink is active (``REPRO_TELEMETRY`` or
+    :func:`repro.obs.sink.configure`) one ``kind="multicast"``
+    :class:`~repro.obs.telemetry.RunRecord` is emitted per call; with no
+    sink, no registry, and no probes the run is bit-identical to the
+    un-instrumented driver.
     """
-    sim = Simulator()
+    wall_start = perf_counter()
+    sim = Simulator(probes)
     limit = ports.limit(tree.n)
 
     nodes: dict[int, HostNode] = {}
@@ -120,7 +174,7 @@ def simulate_multicast(
     if missing:
         raise AssertionError(f"simulation ended with undelivered destinations: {sorted(missing)}")
 
-    return MulticastResult(
+    result = MulticastResult(
         tree=tree,
         size=size,
         timings=timings,
@@ -130,3 +184,41 @@ def simulate_multicast(
         events=sim.events_processed,
         network=network,
     )
+
+    wall_seconds = perf_counter() - wall_start
+    if metrics is not None:
+        record_sim_metrics(
+            metrics,
+            events=result.events,
+            worms=network.worms,
+            delays=delays,
+            completion_us=result.completion_time,
+            blocked_us=result.total_blocked_time,
+            wall_seconds=wall_seconds,
+        )
+    telemetry = _telemetry_sink.get_sink()
+    if telemetry is not None:
+        telemetry.write(
+            RunRecord(
+                run_id=new_run_id(),
+                kind="multicast",
+                n=tree.n,
+                algorithm=label,
+                ports=ports.name,
+                size=size,
+                timings=asdict(timings),
+                wall_seconds=wall_seconds,
+                sim_time_us=sim.now,
+                events=result.events,
+                metrics=metrics.snapshot() if metrics is not None else {},
+                extra={
+                    "destinations": len(tree.destinations),
+                    "avg_delay_us": result.avg_delay,
+                    "max_delay_us": result.max_delay,
+                    "completion_us": result.completion_time,
+                    "total_blocked_us": result.total_blocked_time,
+                    "worms": len(network.worms),
+                },
+            )
+        )
+    return result

@@ -49,7 +49,13 @@ class ChannelTrace:
     def release(self, arc: Arc, worm_uid: int, now: float) -> None:
         if not self.enabled:
             return
-        uid, start = self._open.pop(arc)
+        entry = self._open.pop(arc, None)
+        if entry is None:
+            raise AssertionError(
+                f"channel {arc} released by worm {worm_uid} at t={now} but was "
+                f"never occupied (trace enabled mid-run?)"
+            )
+        uid, start = entry
         if uid != worm_uid:
             raise AssertionError(f"channel {arc} released by worm {worm_uid}, held by {uid}")
         self.records.append(Occupancy(arc, worm_uid, start, now))

@@ -1,0 +1,112 @@
+"""Tests for the simulator profiling probes and kernel hooks."""
+
+from __future__ import annotations
+
+from repro.multicast.registry import get_algorithm
+from repro.obs.probes import (
+    CallbackTimeProbe,
+    CancellationProbe,
+    HeapDepthProbe,
+    default_probes,
+    probe_summaries,
+)
+from repro.simulator.engine import Simulator
+from repro.simulator.run import simulate_multicast
+
+
+def noop() -> None:
+    pass
+
+
+class TestKernelHooks:
+    def test_no_probes_by_default(self):
+        assert Simulator().probes == ()
+
+    def test_add_probe(self):
+        sim = Simulator()
+        probe = HeapDepthProbe()
+        sim.add_probe(probe)
+        assert sim.probes == (probe,)
+
+    def test_on_schedule_and_on_fire_called(self):
+        calls: list[tuple[str, float]] = []
+
+        class Recorder:
+            name = "recorder"
+
+            def on_schedule(self, sim, event):
+                calls.append(("schedule", sim.now))
+
+            def on_fire(self, sim, event, wall_seconds):
+                calls.append(("fire", wall_seconds))
+                assert wall_seconds >= 0.0
+
+            def summary(self):
+                return {}
+
+        sim = Simulator(probes=[Recorder()])
+        sim.schedule(1.0, noop)
+        sim.schedule(2.0, noop)
+        sim.run()
+        kinds = [k for k, _ in calls]
+        assert kinds == ["schedule", "schedule", "fire", "fire"]
+
+
+class TestCallbackTimeProbe:
+    def test_groups_by_callback(self):
+        probe = CallbackTimeProbe()
+        sim = Simulator(probes=[probe])
+        for i in range(3):
+            sim.schedule(float(i), noop)
+        sim.schedule(5.0, sum, range(10))
+        sim.run()
+        summary = probe.summary()
+        by_cb = summary["by_callback"]
+        assert by_cb["noop"]["fires"] == 3
+        assert len(by_cb) == 2
+        assert summary["total_wall_seconds"] >= 0.0
+
+
+class TestHeapDepthProbe:
+    def test_peak_depth(self):
+        probe = HeapDepthProbe()
+        sim = Simulator(probes=[probe])
+        for i in range(5):
+            sim.schedule(float(i), noop)
+        sim.run()
+        assert probe.summary() == {"peak": 5, "scheduled": 5}
+
+
+class TestCancellationProbe:
+    def test_cancellation_rate(self):
+        probe = CancellationProbe()
+        sim = Simulator(probes=[probe])
+        sim.schedule(1.0, noop)
+        doomed = sim.schedule(2.0, noop)
+        doomed.cancel()
+        sim.schedule(3.0, noop)
+        sim.run()
+        summary = probe.summary()
+        assert summary["scheduled"] == 3
+        assert summary["fired"] == 2
+        assert summary["cancelled"] == 1
+        assert summary["cancellation_rate"] == 1 / 3
+
+    def test_zero_rate_without_events(self):
+        assert CancellationProbe().summary()["cancellation_rate"] == 0.0
+
+
+class TestIntegration:
+    def test_probed_run_matches_unprobed(self):
+        """Probes must observe, never perturb, the simulation."""
+        tree = get_algorithm("wsort").build_tree(5, 0, [1, 3, 7, 15, 31, 21])
+        plain = simulate_multicast(tree, size=1024)
+        probes = default_probes()
+        probed = simulate_multicast(tree, size=1024, probes=probes)
+        assert probed.delays == plain.delays
+        assert probed.events == plain.events
+
+        summaries = probe_summaries(probes)
+        assert set(summaries) == {"callback_time", "heap_depth", "cancellation"}
+        assert summaries["heap_depth"]["scheduled"] == probed.events
+        assert summaries["cancellation"]["cancelled"] == 0

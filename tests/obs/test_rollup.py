@@ -1,0 +1,110 @@
+"""Tests for channel-level rollups (hotspots, utilization, per-dim)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.multicast.registry import get_algorithm
+from repro.obs.rollup import (
+    channel_rollup,
+    hotspot_arcs,
+    per_dimension_blocked_time,
+    per_dimension_busy_time,
+    utilization_histogram,
+)
+from repro.simulator.engine import Simulator
+from repro.simulator.network import WormholeNetwork
+from repro.simulator.run import simulate_multicast
+from repro.simulator.trace import ChannelTrace, Occupancy
+
+
+def _trace_with(*records: Occupancy) -> ChannelTrace:
+    trace = ChannelTrace(enabled=True)
+    trace.records.extend(records)
+    return trace
+
+
+class TestHotspots:
+    def test_ranked_by_busy_time(self):
+        trace = _trace_with(
+            Occupancy((0, 1), 0, 0.0, 10.0),
+            Occupancy((0, 0), 1, 0.0, 5.0),
+            Occupancy((0, 1), 2, 20.0, 25.0),  # (0,1) totals 15
+        )
+        ranked = hotspot_arcs(trace, top=2)
+        assert ranked == [((0, 1), 15.0), ((0, 0), 5.0)]
+
+    def test_top_must_be_positive(self):
+        with pytest.raises(ValueError):
+            hotspot_arcs(_trace_with(), top=0)
+
+
+class TestUtilizationHistogram:
+    def test_busy_fractions(self):
+        trace = _trace_with(
+            Occupancy((0, 0), 0, 0.0, 50.0),  # 0.5 of horizon
+            Occupancy((1, 0), 1, 0.0, 100.0),  # 1.0 of horizon
+        )
+        hist = utilization_histogram(trace, horizon=100.0)
+        assert hist.count == 2
+        assert hist.overflow == 0
+        assert hist.max == 1.0
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            utilization_histogram(_trace_with(), horizon=0.0)
+
+
+class TestPerDimension:
+    def test_busy_time_by_dimension(self):
+        trace = _trace_with(
+            Occupancy((0, 0), 0, 0.0, 4.0),
+            Occupancy((1, 0), 1, 0.0, 6.0),
+            Occupancy((0, 2), 2, 0.0, 1.0),
+        )
+        assert per_dimension_busy_time(trace) == {0: 10.0, 2: 1.0}
+
+    def test_blocked_time_from_contended_worms(self):
+        """Two worms on the same path: the second records blocked time
+        against the dimension it waited on."""
+        sim = Simulator()
+        network = WormholeNetwork(sim, 2, trace=True)
+        a = network.make_worm(0, 3, size=10)
+        b = network.make_worm(0, 3, size=10)
+        network.inject(a)
+        network.inject(b)
+        sim.run()
+        blocked = per_dimension_blocked_time(network.worms)
+        assert blocked, "second worm should have blocked"
+        assert all(t > 0 for t in blocked.values())
+        # E-cube descending from 0 to 3 enters on dimension 1 first
+        assert set(blocked) == {1}
+
+    def test_contention_free_run_has_no_blocked_time(self):
+        tree = get_algorithm("wsort").build_tree(4, 0, [1, 3, 5, 7, 9])
+        res = simulate_multicast(tree, size=256, trace=True)
+        assert per_dimension_blocked_time(res.network.worms) == {}
+
+
+class TestChannelRollup:
+    def test_rollup_is_json_safe_and_consistent(self):
+        tree = get_algorithm("wsort").build_tree(4, 0, [1, 3, 5, 7, 11, 12])
+        res = simulate_multicast(tree, size=512, trace=True)
+        rollup = channel_rollup(res.network, horizon=res.completion_time)
+        json.dumps(rollup)  # must be serializable as-is
+        assert rollup["channels_used"] > 0
+        assert rollup["occupancies"] == len(res.network.trace.records)
+        assert len(rollup["hotspot_arcs"]) <= 10
+        assert rollup["per_dimension_blocked_us"] == {}
+        util = rollup["utilization"]
+        assert util["count"] == rollup["channels_used"]
+
+    def test_rollup_without_trace_is_empty_but_valid(self):
+        tree = get_algorithm("ucube").build_tree(3, 0, [1, 2])
+        res = simulate_multicast(tree, size=64, trace=False)
+        rollup = channel_rollup(res.network)
+        assert rollup["channels_used"] == 0
+        assert rollup["hotspot_arcs"] == []
+        assert "utilization" not in rollup

@@ -1,0 +1,97 @@
+"""Tests for ChannelTrace audit helpers and error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.trace import ChannelTrace, Occupancy
+
+
+class TestOccupyRelease:
+    def test_round_trip_records_occupancy(self):
+        trace = ChannelTrace(enabled=True)
+        trace.occupy((0, 1), worm_uid=7, now=1.0)
+        trace.release((0, 1), worm_uid=7, now=5.0)
+        assert trace.records == [Occupancy((0, 1), 7, 1.0, 5.0)]
+        assert trace.records[0].duration == 4.0
+
+    def test_double_occupy_rejected(self):
+        trace = ChannelTrace(enabled=True)
+        trace.occupy((0, 1), 1, 0.0)
+        with pytest.raises(AssertionError, match="double-occupied"):
+            trace.occupy((0, 1), 2, 1.0)
+
+    def test_release_never_occupied_is_descriptive(self):
+        """A release with no matching occupy (e.g. trace enabled
+        mid-run) raises a descriptive AssertionError, not a KeyError."""
+        trace = ChannelTrace(enabled=True)
+        with pytest.raises(AssertionError, match="never occupied"):
+            trace.release((3, 2), worm_uid=9, now=4.0)
+
+    def test_release_by_wrong_worm_rejected(self):
+        trace = ChannelTrace(enabled=True)
+        trace.occupy((0, 0), 1, 0.0)
+        with pytest.raises(AssertionError, match="held by"):
+            trace.release((0, 0), worm_uid=2, now=1.0)
+
+    def test_disabled_trace_records_nothing(self):
+        trace = ChannelTrace(enabled=False)
+        trace.occupy((0, 0), 1, 0.0)
+        trace.release((0, 0), 1, 1.0)
+        trace.finish()
+        assert trace.records == []
+
+
+class TestFinish:
+    def test_clean_trace_passes(self):
+        trace = ChannelTrace(enabled=True)
+        trace.occupy((0, 0), 1, 0.0)
+        trace.release((0, 0), 1, 1.0)
+        trace.finish()
+
+    def test_half_open_trace_fails(self):
+        trace = ChannelTrace(enabled=True)
+        trace.occupy((0, 0), 1, 0.0)
+        trace.occupy((1, 1), 2, 0.0)
+        trace.release((0, 0), 1, 1.0)
+        with pytest.raises(AssertionError, match="still held"):
+            trace.finish()
+
+
+class TestOverlappingPairs:
+    def test_detects_hand_built_overlap(self):
+        trace = ChannelTrace(enabled=True)
+        a = Occupancy((0, 1), 1, 0.0, 10.0)
+        b = Occupancy((0, 1), 2, 5.0, 15.0)  # overlaps a on the same arc
+        c = Occupancy((1, 0), 3, 0.0, 20.0)  # different arc: no conflict
+        trace.records.extend([a, b, c])
+        assert trace.overlapping_pairs() == [(a, b)]
+
+    def test_touching_intervals_do_not_overlap(self):
+        trace = ChannelTrace(enabled=True)
+        trace.records.extend(
+            [Occupancy((0, 1), 1, 0.0, 5.0), Occupancy((0, 1), 2, 5.0, 9.0)]
+        )
+        assert trace.overlapping_pairs() == []
+
+    def test_empty_trace(self):
+        assert ChannelTrace(enabled=True).overlapping_pairs() == []
+
+
+class TestUtilization:
+    def test_positive_horizon(self):
+        trace = ChannelTrace(enabled=True)
+        trace.records.extend(
+            [
+                Occupancy((0, 1), 1, 0.0, 25.0),
+                Occupancy((0, 1), 2, 50.0, 75.0),  # (0,1) busy 50/100
+                Occupancy((1, 0), 3, 0.0, 10.0),  # (1,0) busy 10/100
+            ]
+        )
+        util = trace.utilization(horizon=100.0)
+        assert util == {(0, 1): 0.5, (1, 0): 0.1}
+
+    def test_zero_horizon_is_empty(self):
+        trace = ChannelTrace(enabled=True)
+        trace.records.append(Occupancy((0, 1), 1, 0.0, 5.0))
+        assert trace.utilization(horizon=0.0) == {}

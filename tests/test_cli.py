@@ -77,6 +77,106 @@ class TestTreeTimeline:
         assert "worm0" in out
 
 
+class TestExperimentTelemetry:
+    def test_fig9_telemetry_writes_record_per_point(self, capsys, monkeypatch, tmp_path):
+        """Acceptance: ``experiment fig9 --telemetry out.jsonl`` writes at
+        least one valid RunRecord line per figure point, parseable back."""
+        from repro.obs.sink import read_jsonl
+
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out = str(tmp_path / "out.jsonl")
+        rc = main(["experiment", "fig9", "--telemetry", out])
+        assert rc == 0
+        rendered = capsys.readouterr().out
+        records = read_jsonl(out)
+        points = [r for r in records if r.kind == "experiment-point"]
+        # one x value per rendered table row; >= 1 record per point
+        xs = {r.extra["x"] for r in points}
+        assert len(points) >= len(xs) >= 1
+        first = points[0]
+        assert first.extra["experiment"] == "fig9"
+        assert first.n == 6
+        assert set(first.extra["columns"]) == {"ucube", "maxport", "combine", "wsort"}
+        # every x in the table appears in the telemetry
+        for line in rendered.splitlines():
+            cells = line.split()
+            if cells and cells[0].isdigit():
+                assert int(cells[0]) in xs
+
+    def test_telemetry_flag_does_not_leak(self, monkeypatch, tmp_path):
+        from repro.obs.sink import get_sink
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out = str(tmp_path / "out.jsonl")
+        main(["experiment", "fig9", "--telemetry", out])
+        assert get_sink() is None
+
+    def test_disabled_telemetry_is_bit_identical(self, monkeypatch, tmp_path):
+        """With telemetry enabled vs disabled, simulated event counts and
+        delays are bit-identical (instrumentation observes, never
+        perturbs)."""
+        from repro.multicast.registry import get_algorithm
+        from repro.obs.sink import capture
+        from repro.simulator.run import simulate_multicast
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        tree = get_algorithm("wsort").build_tree(6, 0, [1, 3, 7, 15, 31, 63, 42])
+        plain = simulate_multicast(tree, size=4096)
+        with capture():
+            instrumented = simulate_multicast(tree, size=4096)
+        assert instrumented.delays == plain.delays
+        assert instrumented.events == plain.events
+        assert instrumented.total_blocked_time == plain.total_blocked_time
+
+
+class TestStats:
+    def test_stats_prints_full_instrumentation(self, capsys):
+        rc = main(["stats", "-n", "4", "-d", "1,3,5,9", "-a", "wsort"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "multicast replay" in out
+        assert "metrics:" in out
+        assert "sim.events" in out
+        assert "heap depth: peak" in out
+        assert "cancellation:" in out
+        assert "hotspots:" in out
+        assert "per-dim busy" in out
+
+    def test_stats_json_is_valid_run_record(self, capsys):
+        from repro.obs.telemetry import RunRecord
+
+        rc = main(["stats", "-n", "4", "-d", "1,3,5", "--json"])
+        assert rc == 0
+        rec = RunRecord.from_json(capsys.readouterr().out)
+        assert rec.kind == "multicast"
+        assert "probes" in rec.extra and "channels" in rec.extra
+
+    def test_stats_telemetry_export(self, capsys, tmp_path):
+        from repro.obs.sink import read_jsonl
+
+        out = str(tmp_path / "stats.jsonl")
+        rc = main(["stats", "-n", "3", "-d", "1,2,3", "--telemetry", out])
+        assert rc == 0
+        records = read_jsonl(out)
+        assert len(records) == 1
+        assert records[0].extra["channels"]["channels_used"] > 0
+
+
+class TestCollectiveTelemetry:
+    def test_collective_telemetry_export(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.sink import read_jsonl
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out = str(tmp_path / "col.jsonl")
+        rc = main(["collective", "scatter", "-n", "3", "--size", "64", "--telemetry", out])
+        assert rc == 0
+        records = read_jsonl(out)
+        assert len(records) == 1
+        assert records[0].kind == "comm"
+        assert records[0].algorithm == "scatter"
+
+
 class TestCollective:
     @pytest.mark.parametrize(
         "op", ["broadcast", "scatter", "gather", "allgather", "reduce", "allreduce", "barrier"]

@@ -73,6 +73,15 @@ def test_deadlock_demo(capsys):
     assert "circular wait" in out
 
 
+def test_telemetry_export(capsys):
+    out = run_example("telemetry_export.py", capsys)
+    assert "aggregated metrics" in out
+    assert "telemetry records" in out
+    assert "experiment" not in out  # records come from drivers, not figures
+    assert "hotspot arcs" in out
+    assert "none (contention-free)" in out
+
+
 def test_stencil_exchange(capsys):
     out = run_example("stencil_exchange.py", capsys)
     assert "Gray-code embedding" in out

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.collectives",
     "repro.analysis",
     "repro.mesh",
+    "repro.obs",
 ]
 
 
