@@ -28,6 +28,14 @@ from repro.core import (
     delta,
     ecube_path,
 )
+from repro.faults import (
+    DegradedHypercube,
+    FaultAware,
+    FaultScenario,
+    repair_multicast,
+    simulate_degraded_multicast,
+    verify_degraded,
+)
 from repro.multicast import (
     ALGORITHMS,
     ALL_PORT,
@@ -44,6 +52,7 @@ from repro.multicast import (
     WSort,
     get_algorithm,
     k_port,
+    register,
     verify_multicast,
     weighted_sort,
 )
@@ -55,7 +64,10 @@ __all__ = [
     "ALGORITHMS",
     "ALL_PORT",
     "Combine",
+    "DegradedHypercube",
     "DimensionalSAF",
+    "FaultAware",
+    "FaultScenario",
     "HypercubeCollectives",
     "Maxport",
     "MetricsRegistry",
@@ -77,6 +89,10 @@ __all__ = [
     "ecube_path",
     "get_algorithm",
     "k_port",
+    "register",
+    "repair_multicast",
+    "simulate_degraded_multicast",
+    "verify_degraded",
     "verify_multicast",
     "weighted_sort",
 ]

@@ -343,6 +343,101 @@ def _ablation_concurrent(fast: bool) -> Table:
     )
 
 
+# ---------------------------------------------------------------------------
+# Fault sweeps (repro.faults; beyond the paper -- the paper's theory
+# assumes a fault-free cube)
+# ---------------------------------------------------------------------------
+
+
+def _fault_sweep(fast: bool) -> dict:
+    """Shared sweep: 6-cube, m=16, the four paper algorithms under k
+    failed links, comparing oblivious abort+retry against fault-aware
+    repair.  Returns per-(k, algorithm) mean avg delay (over delivered
+    destinations) and mean delivery ratio, both modes."""
+    from repro.faults import (
+        DegradedHypercube,
+        FaultScenario,
+        repair_multicast,
+        simulate_degraded_multicast,
+    )
+
+    ks = [0, 1, 2, 3] if fast else [0, 1, 2, 3, 4, 6, 8]
+    sets = 4 if fast else 15
+    out = {
+        "ks": ks,
+        "delay": {name: [] for name in PAPER_ALGORITHMS},
+        "ratio": {name: [] for name in PAPER_ALGORITHMS},
+        "repaired_delay": {name: [] for name in PAPER_ALGORITHMS},
+        "repaired_ratio": {name: [] for name in PAPER_ALGORITHMS},
+    }
+    for k in ks:
+        scenario = (
+            FaultScenario.random_links(6, k, seed=9300 + k) if k else FaultScenario(6)
+        )
+        degraded = DegradedHypercube(6, scenario)
+        dest_sets = random_destination_sets(6, 16, sets, seed=9400 + k)
+        for name in PAPER_ALGORITHMS:
+            delays, ratios, r_delays, r_ratios = [], [], [], []
+            for dests in dest_sets:
+                res = simulate_degraded_multicast(
+                    get_algorithm(name).build_tree(6, 0, dests),
+                    scenario,
+                    label=f"faults/{name}/links{k}",
+                )
+                delays.append(res.avg_delay)
+                ratios.append(res.delivery_ratio)
+                report = repair_multicast(name, degraded, 6, 0, dests)
+                r_res = simulate_degraded_multicast(
+                    report.tree,
+                    scenario,
+                    label=f"faults/fault-{name}/links{k}",
+                    unreachable_hint=report.unreachable,
+                )
+                r_delays.append(r_res.avg_delay)
+                r_ratios.append(r_res.delivery_ratio)
+            out["delay"][name].append(mean(delays))
+            out["ratio"][name].append(mean(ratios))
+            out["repaired_delay"][name].append(mean(r_delays))
+            out["repaired_ratio"][name].append(mean(r_ratios))
+    return out
+
+
+def _faults_delay(fast: bool) -> Table:
+    res = _fault_sweep(fast)
+    columns: dict[str, list[float]] = {}
+    for name in PAPER_ALGORITHMS:
+        columns[name] = res["delay"][name]
+        columns[f"fault-{name}"] = res["repaired_delay"][name]
+    return Table(
+        title="Faults: avg delay (us) vs failed links (m=16, 6-cube, 4096 bytes)",
+        x_label="links",
+        x_values=res["ks"],
+        columns=columns,
+        notes=[
+            "plain curves: oblivious abort+retry; fault-* curves: repaired detour schedules",
+            "delay averaged over delivered destinations only (see docs/FAULTS.md)",
+        ],
+    )
+
+
+def _faults_ratio(fast: bool) -> Table:
+    res = _fault_sweep(fast)
+    columns: dict[str, list[float]] = {}
+    for name in PAPER_ALGORITHMS:
+        columns[name] = res["ratio"][name]
+        columns[f"fault-{name}"] = res["repaired_ratio"][name]
+    return Table(
+        title="Faults: delivery ratio vs failed links (m=16, 6-cube, 4096 bytes)",
+        x_label="links",
+        x_values=res["ks"],
+        columns=columns,
+        notes=[
+            "ratio < 1 only when a destination is unreachable or retries are exhausted",
+            "plain curves: oblivious abort+retry; fault-* curves: repaired detour schedules",
+        ],
+    )
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     e.id: e
     for e in [
@@ -374,6 +469,18 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Timing-constant sensitivity",
             "beyond the paper",
             _ablation_sensitivity,
+        ),
+        Experiment(
+            "faults-delay",
+            "Delay vs failed links",
+            "beyond the paper",
+            _faults_delay,
+        ),
+        Experiment(
+            "faults-ratio",
+            "Delivery ratio vs failed links",
+            "beyond the paper",
+            _faults_ratio,
         ),
     ]
 }
@@ -446,4 +553,6 @@ _EXPERIMENT_CUBE_DIMS: dict[str, int] = {
     "ablation-resolution": 6,
     "ablation-concurrent": 6,
     "ablation-sensitivity": 6,
+    "faults-delay": 6,
+    "faults-ratio": 6,
 }

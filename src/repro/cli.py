@@ -8,11 +8,15 @@ Subcommands:
 - ``collective`` -- time one collective operation.
 - ``stats`` -- replay one multicast fully instrumented (metrics,
   profiling probes, channel rollups) and print/export the telemetry.
+- ``faults`` -- sweep delivery time and delivery ratio against the
+  number of failed links, oblivious (abort + retry) or repaired
+  (fault-aware detour schedules); see docs/FAULTS.md.
 
-``experiment``, ``collective``, and ``stats`` accept ``--telemetry
-PATH`` to export structured :class:`~repro.obs.telemetry.RunRecord`
-JSON lines (equivalently: set the ``REPRO_TELEMETRY`` environment
-variable; see docs/OBSERVABILITY.md).
+``experiment``, ``collective``, ``stats``, and ``faults`` accept
+``--telemetry PATH`` to export structured
+:class:`~repro.obs.telemetry.RunRecord` JSON lines (equivalently: set
+the ``REPRO_TELEMETRY`` environment variable; see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -257,6 +261,86 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    return _with_telemetry(args, lambda: _run_faults(args))
+
+
+def _run_faults(args: argparse.Namespace) -> int:
+    # heavyweight subsystem: import only when the subcommand runs
+    from repro.analysis.workloads import random_destination_sets
+    from repro.faults import (
+        DegradedHypercube,
+        FaultScenario,
+        repair_multicast,
+        simulate_degraded_multicast,
+        verify_degraded,
+    )
+    from repro.multicast.registry import PAPER_ALGORITHMS
+
+    n = args.n
+    ks = sorted({int(tok) for tok in args.links.replace(",", " ").split()})
+    names = [args.algorithm] if args.algorithm else list(PAPER_ALGORITHMS)
+    dest_sets = random_destination_sets(n, args.m, args.sets, seed=args.seed + 17)
+    mode = "fault-aware repair" if args.repair else "oblivious abort+retry"
+    print(
+        f"fault sweep: {n}-cube, m={args.m}, {args.sets} destination set(s), "
+        f"{args.size} bytes, {mode}, seed {args.seed}"
+    )
+    print(
+        f"{'links':>5} {'algorithm':<10} {'delivered':>11} {'ratio':>6} "
+        f"{'avg us':>8} {'aborted':>8} {'retries':>8} {'gave up':>8} {'repairs':>8}"
+    )
+    worst_ratio = 1.0
+    for k in ks:
+        scenario = (
+            FaultScenario.random_links(n, k, seed=args.seed + k)
+            if k
+            else FaultScenario(n)
+        )
+        degraded = DegradedHypercube(n, scenario)
+        for name in names:
+            delivered = total = aborted = retries = gave_up = repairs = 0
+            delay_sum = 0.0
+            delay_runs = 0
+            for dests in dest_sets:
+                unreachable: tuple[int, ...] = ()
+                if args.repair:
+                    report = repair_multicast(name, degraded, n, 0, dests)
+                    verify_degraded(report).raise_if_failed()
+                    tree = report.tree
+                    unreachable = report.unreachable
+                    repairs += len(report.repairs)
+                else:
+                    tree = get_algorithm(name).build_tree(n, 0, dests)
+                res = simulate_degraded_multicast(
+                    tree,
+                    scenario,
+                    args.size,
+                    max_retries=args.retries,
+                    deadline_us=args.deadline_us,
+                    label=f"faults/{name}/links{k}",
+                    unreachable_hint=unreachable,
+                )
+                delivered += len(res.delivered)
+                total += len(tree.destinations | set(unreachable))
+                aborted += res.aborted_worms
+                retries += res.retries
+                gave_up += res.gave_up
+                if res.delivered:
+                    delay_sum += res.avg_delay
+                    delay_runs += 1
+            ratio = delivered / total if total else 1.0
+            worst_ratio = min(worst_ratio, ratio)
+            avg = delay_sum / delay_runs if delay_runs else 0.0
+            print(
+                f"{k:>5} {name:<10} {delivered:>5}/{total:<5} {ratio:>6.3f} "
+                f"{avg:>8.0f} {aborted:>8} {retries:>8} {gave_up:>8} {repairs:>8}"
+            )
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 0 if worst_ratio >= args.min_ratio else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hypercube",
@@ -341,6 +425,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the enriched RunRecord JSON line to PATH",
     )
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_faults = sub.add_parser(
+        "faults", help="sweep delivery vs failed links on a degraded cube"
+    )
+    p_faults.add_argument("-n", type=int, required=True, help="cube dimension")
+    p_faults.add_argument(
+        "--links", default="0,1,2,3", help="failed-link counts to sweep, e.g. '0,2,4'"
+    )
+    p_faults.add_argument("--seed", type=int, default=9300, help="fault scenario seed")
+    p_faults.add_argument("-m", type=int, default=8, help="destinations per multicast")
+    p_faults.add_argument("--sets", type=int, default=3, help="destination sets per point")
+    p_faults.add_argument("--size", type=int, default=4096, help="message bytes")
+    p_faults.add_argument("--retries", type=int, default=3, help="per-send retry cap")
+    p_faults.add_argument(
+        "--deadline-us", type=float, default=None, help="hard stop (simulated us)"
+    )
+    p_faults.add_argument(
+        "--repair", action="store_true",
+        help="build fault-aware detour schedules instead of oblivious retry",
+    )
+    p_faults.add_argument(
+        "-a", "--algorithm", default=None, choices=sorted(ALGORITHMS),
+        help="single algorithm (default: the four paper algorithms)",
+    )
+    p_faults.add_argument(
+        "--min-ratio", type=float, default=0.0,
+        help="exit nonzero if any point's delivery ratio falls below this",
+    )
+    p_faults.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="export one degraded-multicast RunRecord JSON line per run to PATH",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
     return parser
 
 

@@ -1,0 +1,52 @@
+"""Fault injection: degraded hypercubes, repair, and abort/retry simulation.
+
+The paper's contention theory and all four multicast algorithms assume
+a fault-free hypercube.  ``repro.faults`` models what happens when that
+assumption breaks (docs/FAULTS.md has the full story):
+
+- :mod:`repro.faults.model` -- declarative link/arc/node fault
+  scenarios, static or timed, deterministic from an explicit seed;
+- :mod:`repro.faults.degraded` -- the :class:`DegradedHypercube` view:
+  liveness queries, surviving E-cube routes, shortest deterministic
+  detours, reachability;
+- :mod:`repro.faults.repair` -- fault-aware schedule construction: the
+  :class:`FaultAware` wrapper repairs any registry algorithm's tree by
+  splicing detour unicasts around dead arcs, and
+  :func:`verify_degraded` independently re-checks coverage and
+  contention-freedom;
+- :mod:`repro.faults.sim` -- timed simulation with worm abort on
+  dead-channel acquisition, source-side retry with capped backoff,
+  delivery deadlines, and fault counters flowing into
+  :mod:`repro.obs` metrics and telemetry.
+
+Run ``repro-hypercube faults -n 6`` for a delivery-vs-failed-links
+sweep of the paper's four algorithms.
+"""
+
+from repro.faults.degraded import DegradedHypercube, detour_path
+from repro.faults.model import ArcFault, FaultScenario, LinkFault, NodeFault, all_links
+from repro.faults.repair import (
+    FaultAware,
+    Repair,
+    RepairReport,
+    repair_multicast,
+    verify_degraded,
+)
+from repro.faults.sim import DegradedResult, simulate_degraded_multicast
+
+__all__ = [
+    "ArcFault",
+    "DegradedHypercube",
+    "DegradedResult",
+    "FaultAware",
+    "FaultScenario",
+    "LinkFault",
+    "NodeFault",
+    "Repair",
+    "RepairReport",
+    "all_links",
+    "detour_path",
+    "repair_multicast",
+    "simulate_degraded_multicast",
+    "verify_degraded",
+]

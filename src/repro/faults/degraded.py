@@ -1,0 +1,206 @@
+"""A degraded-hypercube view: routing and reachability around faults.
+
+:class:`DegradedHypercube` freezes a :class:`~repro.faults.model.FaultScenario`
+at one instant and answers the questions the fault-aware layers need:
+is this arc alive, does the E-cube path survive, what is the shortest
+surviving detour, and which nodes remain reachable.
+
+Detours are computed by breadth-first search over the alive arcs with
+neighbours expanded in E-cube dimension order (high dimension first for
+the paper's descending resolution order), so the detour is a shortest
+surviving path, deterministic, and coincides with the E-cube path
+whenever that path is intact -- "dimension-order around the faulty
+subcube".  A detour is *not* in general an E-cube path, so it forfeits
+the arc-disjointness guarantees of Theorems 1-2; the repair layer
+(:mod:`repro.faults.repair`) therefore splits detours into E-cube-clean
+segments and re-schedules them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable
+
+from repro.core.addressing import require_address
+from repro.core.paths import Arc, ResolutionOrder, ecube_arcs
+from repro.faults.model import FaultScenario
+
+__all__ = ["DegradedHypercube", "detour_path"]
+
+
+def _dim_order(n: int, order: ResolutionOrder) -> tuple[int, ...]:
+    dims = range(n - 1, -1, -1) if order.descending else range(n)
+    return tuple(dims)
+
+
+def detour_path(
+    n: int,
+    u: int,
+    v: int,
+    dead_arcs: Iterable[Arc],
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> list[int] | None:
+    """Shortest surviving node path ``u -> v`` avoiding ``dead_arcs``.
+
+    Deterministic BFS with neighbours expanded in E-cube dimension
+    order; returns the inclusive node sequence, or None if ``v`` is
+    unreachable.  ``detour_path(n, u, u, ...)`` is ``[u]``.
+    """
+    require_address(u, n, "detour source")
+    require_address(v, n, "detour destination")
+    if u == v:
+        return [u]
+    dead = dead_arcs if isinstance(dead_arcs, (set, frozenset)) else frozenset(dead_arcs)
+    dims = _dim_order(n, order)
+    parent: dict[int, int] = {u: u}
+    frontier = deque([u])
+    while frontier:
+        cur = frontier.popleft()
+        for d in dims:
+            if (cur, d) in dead:
+                continue
+            nxt = cur ^ (1 << d)
+            if nxt in parent:
+                continue
+            parent[nxt] = cur
+            if nxt == v:
+                path = [v]
+                while path[-1] != u:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(nxt)
+    return None
+
+
+class DegradedHypercube:
+    """An ``n``-cube minus the faults of a scenario, frozen at time ``at``.
+
+    The default ``at=inf`` includes every timed fault -- the right view
+    for planning a schedule that must survive the whole run.  Use
+    ``at=0.0`` for the static-faults-only view.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        scenario: FaultScenario | None = None,
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+        at: float = math.inf,
+    ) -> None:
+        if scenario is None:
+            scenario = FaultScenario(n)
+        if scenario.n != n:
+            raise ValueError(f"scenario is for a {scenario.n}-cube, not an {n}-cube")
+        self.n = n
+        self.scenario = scenario
+        self.order = order
+        self.at = at
+        self._dead_arcs = scenario.dead_arcs(at)
+        self._dead_nodes = scenario.dead_nodes(at)
+
+    # -- liveness -------------------------------------------------------
+
+    @property
+    def dead_arcs(self) -> frozenset[Arc]:
+        return self._dead_arcs
+
+    @property
+    def dead_nodes(self) -> frozenset[int]:
+        return self._dead_nodes
+
+    def is_arc_alive(self, arc: Arc) -> bool:
+        return arc not in self._dead_arcs
+
+    def is_node_alive(self, node: int) -> bool:
+        return node not in self._dead_nodes
+
+    # -- routing --------------------------------------------------------
+
+    def ecube_route(self, u: int, v: int) -> list[Arc] | None:
+        """The E-cube arcs of ``P(u, v)`` if every one is alive, else None."""
+        arcs = ecube_arcs(u, v, self.order)
+        if self._dead_arcs and any(a in self._dead_arcs for a in arcs):
+            return None
+        return arcs
+
+    def detour(self, u: int, v: int) -> list[int] | None:
+        """Shortest surviving node path (see :func:`detour_path`)."""
+        if u in self._dead_nodes or v in self._dead_nodes:
+            return None
+        return detour_path(self.n, u, v, self._dead_arcs, self.order)
+
+    def route(self, u: int, v: int) -> list[Arc] | None:
+        """A surviving arc route: the E-cube path when intact, otherwise
+        the shortest deterministic detour; None when ``v`` is cut off.
+
+        Drop-in for :class:`~repro.simulator.network.WormholeNetwork`'s
+        ``route`` hook -- but note a detour is generally not E-cube, so
+        deadlock freedom is no longer guaranteed by dimension ordering
+        (docs/FAULTS.md discusses why this is acceptable for repair
+        traffic).
+        """
+        direct = self.ecube_route(u, v)
+        if direct is not None:
+            return direct
+        path = self.detour(u, v)
+        if path is None:
+            return None
+        return [(a, (a ^ b).bit_length() - 1) for a, b in zip(path, path[1:])]
+
+    def segments(self, u: int, v: int) -> list[tuple[int, int]] | None:
+        """Split the detour ``u -> v`` into the fewest-greedy E-cube-clean
+        unicast hops.
+
+        Walks the surviving path and greedily extends each segment as
+        far as its endpoints' own E-cube path stays fully alive; every
+        segment is then a legal (fault-free) E-cube unicast, so the
+        repaired schedule can be contention-checked and simulated with
+        the ordinary machinery.  Single-hop segments always qualify, so
+        the split succeeds whenever a detour exists.  Returns
+        ``[(u, v)]`` when the direct path is intact, None when ``v`` is
+        unreachable.
+        """
+        if self.ecube_route(u, v) is not None:
+            return [(u, v)]
+        path = self.detour(u, v)
+        if path is None:
+            return None
+        segs: list[tuple[int, int]] = []
+        i = 0
+        while i < len(path) - 1:
+            j = len(path) - 1
+            while j > i + 1 and self.ecube_route(path[i], path[j]) is None:
+                j -= 1
+            segs.append((path[i], path[j]))
+            i = j
+        return segs
+
+    # -- reachability ---------------------------------------------------
+
+    def reachable_from(self, u: int) -> frozenset[int]:
+        """All nodes a worm injected at ``u`` can still reach (including
+        ``u`` itself); empty if ``u``'s own router is dead."""
+        require_address(u, self.n, "reachability source")
+        if u in self._dead_nodes:
+            return frozenset()
+        dims = _dim_order(self.n, self.order)
+        seen = {u}
+        frontier = deque([u])
+        while frontier:
+            cur = frontier.popleft()
+            for d in dims:
+                if (cur, d) in self._dead_arcs:
+                    continue
+                nxt = cur ^ (1 << d)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DegradedHypercube n={self.n} dead_arcs={len(self._dead_arcs)} "
+            f"dead_nodes={len(self._dead_nodes)}>"
+        )

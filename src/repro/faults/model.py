@@ -1,0 +1,205 @@
+"""Declarative fault models: failed links, arcs, and nodes.
+
+The paper's theory (Theorems 1-3) and all four algorithms assume a
+fault-free hypercube.  This module describes departures from that
+assumption as *data*: a :class:`FaultScenario` is an immutable record
+of which links/arcs/nodes fail and when, generated either explicitly or
+pseudo-randomly from an explicit seed -- the same seed always yields
+the same scenario, so every degraded experiment is reproducible.
+
+Conventions:
+
+- A *link* is the undirected channel pair between two neighbours; a
+  :class:`LinkFault` kills both directed arcs.  Its canonical form
+  stores the endpoint whose ``dim`` bit is 0.
+- An :class:`ArcFault` kills a single directed channel (one direction
+  keeps working) -- useful for modelling unidirectional driver faults.
+- A :class:`NodeFault` kills a router: all ``2n`` incident arcs die and
+  the node can neither send, receive, nor forward.
+- ``t_fail <= 0`` means the fault is present from the start (*static*);
+  ``t_fail > 0`` is a *timed* fault that strikes mid-run at that
+  simulated time (microseconds).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.addressing import require_address
+from repro.core.paths import Arc
+
+__all__ = ["ArcFault", "FaultScenario", "LinkFault", "NodeFault", "all_links"]
+
+
+def all_links(n: int) -> list[tuple[int, int]]:
+    """All ``n * 2**(n-1)`` undirected links of the ``n``-cube, as
+    canonical ``(node, dim)`` pairs with bit ``dim`` of ``node`` clear,
+    in deterministic (node-major) order."""
+    return [(u, d) for u in range(1 << n) for d in range(n) if not (u >> d) & 1]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFault:
+    """A failed bidirectional link ``{node, node ^ (1 << dim)}``."""
+
+    node: int
+    dim: int
+    t_fail: float = 0.0
+
+    def canonical(self) -> "LinkFault":
+        if (self.node >> self.dim) & 1:
+            return LinkFault(self.node ^ (1 << self.dim), self.dim, self.t_fail)
+        return self
+
+    def arcs(self) -> tuple[Arc, Arc]:
+        return (self.node, self.dim), (self.node ^ (1 << self.dim), self.dim)
+
+
+@dataclass(frozen=True, slots=True)
+class ArcFault:
+    """A failed directed channel ``(node, dim)`` (one direction only)."""
+
+    node: int
+    dim: int
+    t_fail: float = 0.0
+
+    def arcs(self) -> tuple[Arc, ...]:
+        return ((self.node, self.dim),)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFault:
+    """A failed router: every incident arc dies with it."""
+
+    node: int
+    t_fail: float = 0.0
+
+    def arcs_in(self, n: int) -> tuple[Arc, ...]:
+        """All ``2n`` arcs incident to the node (both directions)."""
+        out = []
+        for d in range(n):
+            out.append((self.node, d))
+            out.append((self.node ^ (1 << d), d))
+        return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultScenario:
+    """An immutable set of link/arc/node faults for one ``n``-cube.
+
+    Build explicitly, or deterministically at random::
+
+        FaultScenario(4, links=[LinkFault(0b0000, 2)])
+        FaultScenario.random_links(6, k=3, seed=42)
+
+    Query with :meth:`dead_arcs` / :meth:`dead_nodes` (a *static view*
+    at a given simulated time) and :meth:`timed_events` (the mid-run
+    failure schedule).
+    """
+
+    n: int
+    links: tuple[LinkFault, ...] = ()
+    arcs: tuple[ArcFault, ...] = ()
+    nodes: tuple[NodeFault, ...] = ()
+    #: provenance: the seed used by the random constructors, if any
+    seed: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"hypercube dimension must be >= 1, got {self.n}")
+        object.__setattr__(self, "links", tuple(f.canonical() for f in self.links))
+        object.__setattr__(self, "arcs", tuple(self.arcs))
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        for f in self.links + self.arcs:
+            require_address(f.node, self.n, "fault endpoint")
+            if not 0 <= f.dim < self.n:
+                raise ValueError(f"fault dimension {f.dim} out of range for an {self.n}-cube")
+        for f in self.nodes:
+            require_address(f.node, self.n, "failed node")
+
+    # -- random generation (deterministic from the seed) ---------------
+
+    @classmethod
+    def random_links(
+        cls, n: int, k: int, seed: int, t_fail: float = 0.0
+    ) -> "FaultScenario":
+        """``k`` distinct links chosen uniformly with ``random.Random(seed)``."""
+        universe = all_links(n)
+        if not 0 <= k <= len(universe):
+            raise ValueError(f"cannot fail {k} of {len(universe)} links")
+        rng = random.Random(seed)
+        picks = rng.sample(universe, k)
+        return cls(
+            n, links=tuple(LinkFault(u, d, t_fail) for u, d in sorted(picks)), seed=seed
+        )
+
+    @classmethod
+    def random_nodes(
+        cls, n: int, k: int, seed: int, t_fail: float = 0.0, spare: Iterable[int] = (0,)
+    ) -> "FaultScenario":
+        """``k`` distinct failed nodes, never drawn from ``spare``
+        (default: node 0, the conventional multicast source)."""
+        spared = set(spare)
+        universe = [u for u in range(1 << n) if u not in spared]
+        if not 0 <= k <= len(universe):
+            raise ValueError(f"cannot fail {k} of {len(universe)} nodes")
+        rng = random.Random(seed)
+        picks = rng.sample(universe, k)
+        return cls(n, nodes=tuple(NodeFault(u, t_fail) for u in sorted(picks)), seed=seed)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def is_fault_free(self) -> bool:
+        return not (self.links or self.arcs or self.nodes)
+
+    def _fault_arcs(self, fault: LinkFault | ArcFault | NodeFault) -> Sequence[Arc]:
+        if isinstance(fault, NodeFault):
+            return fault.arcs_in(self.n)
+        return fault.arcs()
+
+    def dead_arcs(self, at: float = math.inf) -> frozenset[Arc]:
+        """Every directed arc dead at (or before) simulated time ``at``.
+
+        ``at=0.0`` is the static view; the default ``inf`` includes all
+        timed faults as well.
+        """
+        dead: set[Arc] = set()
+        for fault in (*self.links, *self.arcs, *self.nodes):
+            if fault.t_fail <= at:
+                dead.update(self._fault_arcs(fault))
+        return frozenset(dead)
+
+    def dead_nodes(self, at: float = math.inf) -> frozenset[int]:
+        """Every node whose router is dead at (or before) time ``at``."""
+        return frozenset(f.node for f in self.nodes if f.t_fail <= at)
+
+    def is_arc_dead(self, arc: Arc, at: float = math.inf) -> bool:
+        return arc in self.dead_arcs(at)
+
+    def timed_events(self) -> list[tuple[float, Arc]]:
+        """The mid-run failure schedule: ``(t_fail, arc)`` for every arc
+        of every fault with ``t_fail > 0``, sorted by time then arc."""
+        events: list[tuple[float, Arc]] = []
+        for fault in (*self.links, *self.arcs, *self.nodes):
+            if fault.t_fail > 0:
+                events.extend((fault.t_fail, arc) for arc in self._fault_arcs(fault))
+        events.sort()
+        return events
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI)."""
+        parts = []
+        if self.links:
+            parts.append(f"{len(self.links)} link(s)")
+        if self.arcs:
+            parts.append(f"{len(self.arcs)} arc(s)")
+        if self.nodes:
+            parts.append(f"{len(self.nodes)} node(s)")
+        if not parts:
+            return f"{self.n}-cube, fault-free"
+        tail = f", seed={self.seed}" if self.seed is not None else ""
+        return f"{self.n}-cube, failed: " + ", ".join(parts) + tail

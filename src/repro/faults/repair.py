@@ -1,0 +1,238 @@
+"""Fault-aware multicast: repair schedules whose paths cross dead arcs.
+
+The registry algorithms (U-cube, Maxport, Combine, W-sort) construct
+trees whose unicasts are E-cube routed; on a degraded cube some of
+those paths cross dead arcs and the worm would abort.  This module
+repairs such trees *before* injection:
+
+1. destinations cut off from the source are reported (nothing can
+   deliver to them -- the paper's fault-free theory simply does not
+   apply);
+2. every send whose E-cube path is intact is kept verbatim;
+3. every broken send is replaced by a chain of **detour unicasts**: the
+   shortest surviving path is split into E-cube-clean segments
+   (:meth:`~repro.faults.degraded.DegradedHypercube.segments`), each
+   forwarded by the intermediate node's CPU.
+
+The repaired tree is an ordinary :class:`~repro.multicast.base.MulticastTree`,
+so the greedy scheduler still serializes any two segment unicasts that
+would share a channel: the repaired schedule is contention-free *by
+construction*, though no longer by Theorems 1-2 (the detour segments
+are extra traffic the theorems know nothing about).
+:func:`verify_degraded` re-checks all of this independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.paths import ResolutionOrder
+from repro.faults.degraded import DegradedHypercube
+from repro.multicast.base import MulticastAlgorithm, MulticastTree, Schedule
+from repro.multicast.ports import ALL_PORT, PortModel
+from repro.multicast.registry import get_algorithm
+
+__all__ = ["FaultAware", "Repair", "RepairReport", "repair_multicast", "verify_degraded"]
+
+
+@dataclass(frozen=True, slots=True)
+class Repair:
+    """One broken send and the detour chain that replaces it."""
+
+    src: int
+    dst: int
+    #: intermediate relay nodes, in forwarding order (may be empty when
+    #: the repair is a single re-routed E-cube segment)
+    via: tuple[int, ...]
+
+
+@dataclass(slots=True)
+class RepairReport:
+    """Outcome of :func:`repair_multicast`."""
+
+    tree: MulticastTree
+    degraded: DegradedHypercube
+    #: the destinations originally requested
+    requested: frozenset[int]
+    #: requested destinations with no surviving path from the source
+    unreachable: tuple[int, ...]
+    #: broken sends that were replaced by detour chains
+    repairs: tuple[Repair, ...]
+
+    @property
+    def reachable(self) -> frozenset[int]:
+        return self.requested - set(self.unreachable)
+
+    @property
+    def detour_relays(self) -> frozenset[int]:
+        """Nodes whose CPUs forward repair traffic without being
+        destinations (a departure from the pure wormhole model)."""
+        via = {node for r in self.repairs for node in r.via}
+        return frozenset(via - self.requested - {self.tree.source})
+
+
+def repair_multicast(
+    algorithm: MulticastAlgorithm | str,
+    degraded: DegradedHypercube,
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> RepairReport:
+    """Build ``algorithm``'s tree for the reachable destinations and
+    repair every send whose E-cube path crosses a dead arc.
+
+    Raises:
+        ValueError: if the cube dimensions disagree or the source's own
+            router is dead (no repair can originate anywhere).
+    """
+    alg = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    if degraded.n != n:
+        raise ValueError(f"degraded view is for a {degraded.n}-cube, not an {n}-cube")
+    if not degraded.is_node_alive(source):
+        raise ValueError(f"source {source}'s router is dead; nothing can be multicast")
+    requested = frozenset(destinations)
+    reachable = degraded.reachable_from(source)
+    alive_dests = sorted(requested & reachable)
+    unreachable = tuple(sorted(requested - reachable))
+
+    tree = MulticastTree(n, source, alive_dests, order)
+    repairs: list[Repair] = []
+    # nodes already holding the message; a repair whose relay (or
+    # target) is among them reuses that delivery rather than sending a
+    # duplicate copy, keeping the tree free of double receives
+    holding = {source}
+    if alive_dests:
+        base = alg.build_tree(n, source, alive_dests, order)
+        for send in base.sends:
+            if degraded.ecube_route(send.src, send.dst) is not None:
+                if send.dst not in holding:
+                    tree.add_send(send.src, send.dst, send.chain)
+                    holding.add(send.dst)
+                continue
+            segs = degraded.segments(send.src, send.dst)
+            assert segs is not None, "both endpoints reachable yet no detour found"
+            via = tuple(b for _, b in segs[:-1])
+            repairs.append(Repair(send.src, send.dst, via))
+            for a, b in segs:
+                if b in holding:
+                    continue
+                # relays carry the final target ahead of the original
+                # address field so the payload chain stays meaningful
+                chain = send.chain if b == send.dst else (send.dst, *send.chain)
+                tree.add_send(a, b, chain)
+                holding.add(b)
+    return RepairReport(
+        tree=tree,
+        degraded=degraded,
+        requested=requested,
+        unreachable=unreachable,
+        repairs=tuple(repairs),
+    )
+
+
+class FaultAware(MulticastAlgorithm):
+    """Registry-compatible wrapper: any base algorithm, repaired against
+    a fixed degraded view.
+
+    Register for CLI/experiment use via the registry hook::
+
+        from repro.multicast import register
+        register("fault-wsort", lambda: FaultAware("wsort", degraded))
+
+    The most recent :class:`RepairReport` is kept on ``last_report`` for
+    callers that need the unreachable set or the repair details.
+    """
+
+    def __init__(
+        self, base: MulticastAlgorithm | str, degraded: DegradedHypercube
+    ) -> None:
+        self.base = get_algorithm(base) if isinstance(base, str) else base
+        self.degraded = degraded
+        self.name = f"fault-{self.base.name}"
+        self.last_report: RepairReport | None = None
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        report = repair_multicast(self.base, self.degraded, n, source, destinations, order)
+        self.last_report = report
+        return report.tree
+
+
+@dataclass(slots=True)
+class FaultVerificationResult:
+    """Outcome of :func:`verify_degraded`."""
+
+    ok: bool
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    schedule: Schedule | None = None
+    #: requested destinations with no surviving path (informational --
+    #: their absence from the tree is not an error)
+    unreachable: tuple[int, ...] = ()
+    #: did the greedy schedule remain contention-free (Definition 4)?
+    contention_free: bool = False
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "degraded multicast verification failed:\n  " + "\n  ".join(self.errors)
+            )
+
+
+def verify_degraded(
+    report: RepairReport, ports: PortModel = ALL_PORT
+) -> FaultVerificationResult:
+    """Independently verify a repaired multicast against its degraded view.
+
+    Checks that
+
+    - every *reachable* requested destination receives the message;
+    - no scheduled unicast's E-cube path crosses a dead arc or touches a
+      dead router (the repair missed nothing);
+    - the greedy schedule is still contention-free (Definition 4).
+
+    Duplicate deliveries (a detour relay that is also a destination) are
+    reported as warnings, not errors: the simulator tolerates them and
+    forwards only on first receipt.
+    """
+    tree = report.tree
+    degraded = report.degraded
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    received: dict[int, int] = {}
+    for s in tree.sends:
+        received[s.dst] = received.get(s.dst, 0) + 1
+        if degraded.ecube_route(s.src, s.dst) is None:
+            errors.append(f"send {s.src}->{s.dst} still crosses a dead arc")
+        if not degraded.is_node_alive(s.src) or not degraded.is_node_alive(s.dst):
+            errors.append(f"send {s.src}->{s.dst} touches a dead router")
+    missing = report.reachable - received.keys()
+    if missing:
+        errors.append(f"reachable destinations never reached: {sorted(missing)}")
+    for node, times in received.items():
+        if times > 1:
+            warnings.append(f"node {node} receives the message {times} times (detour overlap)")
+
+    schedule = tree.schedule(ports)
+    contention = schedule.check_contention()
+    if not contention.ok:
+        errors.append(contention.summary())
+    return FaultVerificationResult(
+        ok=not errors,
+        errors=errors,
+        warnings=warnings,
+        schedule=schedule,
+        unreachable=report.unreachable,
+        contention_free=contention.ok,
+    )

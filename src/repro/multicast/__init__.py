@@ -25,7 +25,7 @@ from repro.multicast.combine import Combine
 from repro.multicast.maxport import Maxport
 from repro.multicast.naive import DimensionalSAF, SeparateAddressing
 from repro.multicast.ports import ALL_PORT, ONE_PORT, PortModel, k_port
-from repro.multicast.registry import ALGORITHMS, get_algorithm
+from repro.multicast.registry import ALGORITHMS, PAPER_ALGORITHMS, get_algorithm, register
 from repro.multicast.ucube import UCube
 from repro.multicast.verify import verify_multicast
 from repro.multicast.wsort import WSort, weighted_sort, weighted_sort_fast
@@ -39,6 +39,7 @@ __all__ = [
     "MulticastAlgorithm",
     "MulticastTree",
     "ONE_PORT",
+    "PAPER_ALGORITHMS",
     "PortModel",
     "Schedule",
     "Send",
@@ -47,6 +48,7 @@ __all__ = [
     "WSort",
     "get_algorithm",
     "k_port",
+    "register",
     "verify_multicast",
     "weighted_sort",
     "weighted_sort_fast",

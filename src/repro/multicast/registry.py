@@ -15,7 +15,7 @@ from repro.multicast.naive import DimensionalSAF, SeparateAddressing
 from repro.multicast.ucube import UCube
 from repro.multicast.wsort import WSort
 
-__all__ = ["ALGORITHMS", "PAPER_ALGORITHMS", "get_algorithm"]
+__all__ = ["ALGORITHMS", "PAPER_ALGORITHMS", "get_algorithm", "register"]
 
 #: Factories for every algorithm in the library.
 ALGORITHMS: dict[str, Callable[[], MulticastAlgorithm]] = {
@@ -45,3 +45,31 @@ def get_algorithm(name: str) -> MulticastAlgorithm:
         known = ", ".join(sorted(ALGORITHMS))
         raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
     return factory()
+
+
+def register(
+    name: str,
+    factory: Callable[[], MulticastAlgorithm],
+    *,
+    replace: bool = False,
+) -> Callable[[], MulticastAlgorithm]:
+    """Register an algorithm factory so user code -- custom tree
+    builders, the fault-aware wrapper of :mod:`repro.faults.repair` --
+    can join the CLI, experiments, and benchmarks without editing this
+    module::
+
+        register("fault-wsort", lambda: FaultAware("wsort", degraded))
+        get_algorithm("fault-wsort")
+
+    Returns the factory, so it can be used as a decorator on a
+    zero-argument class.
+
+    Raises:
+        ValueError: if ``name`` is taken and ``replace`` is False.
+    """
+    if not replace and name in ALGORITHMS:
+        raise ValueError(
+            f"algorithm {name!r} already registered (pass replace=True to override)"
+        )
+    ALGORITHMS[name] = factory
+    return factory

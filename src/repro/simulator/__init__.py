@@ -22,7 +22,7 @@ gives unit-cost timings under which delivery times coincide with the
 abstract step schedule, which the test suite uses for cross-validation.
 """
 
-from repro.simulator.deadlock import is_deadlock_free, waiting_cycle
+from repro.simulator.deadlock import is_deadlock_free, stall_report, waiting_cycle
 from repro.simulator.engine import Event, Simulator
 from repro.simulator.flitlevel import FlitLevelNetwork
 from repro.simulator.message import Worm, WormState
@@ -61,6 +61,7 @@ __all__ = [
     "simulate_concurrent_multicasts",
     "simulate_multicast",
     "simulate_multicast_under_load",
+    "stall_report",
     "validate_against_model",
     "waiting_cycle",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.core.paths import Arc
+from repro.simulator.message import WormState
 from repro.simulator.network import WormholeNetwork
 from repro.simulator.routing import RoutingFunction
 
@@ -32,6 +33,7 @@ __all__ = [
     "channel_dependency_graph",
     "find_dependency_cycle",
     "is_deadlock_free",
+    "stall_report",
     "waiting_cycle",
 ]
 
@@ -95,3 +97,71 @@ def waiting_cycle(network: WormholeNetwork) -> list[int] | None:
     except (nx.NetworkXNoCycle, nx.NetworkXError):
         return None
     return [edge[0] for edge in cycle_edges]
+
+
+def stall_report(network: WormholeNetwork) -> dict:
+    """Classify every blocked worm and render a JSON-ready verdict.
+
+    Telemetry companion to :func:`waiting_cycle`: for each worm whose
+    header is waiting on a busy channel, walk the holder chain and
+    decide *why* it is not progressing:
+
+    - ``fault-stalled`` -- the chain ends at a worm whose next channel
+      is dead (or the worm itself waits on one): the stall is caused by
+      an injected failure, not by traffic;
+    - ``deadlocked`` -- the chain revisits a worm (a circular wait);
+    - ``contention`` -- the chain ends at a worm that is actively
+      progressing; the wait is ordinary wormhole contention.
+
+    The returned dict is embedded verbatim in exported
+    :class:`~repro.obs.telemetry.RunRecord` JSONL (``extra["deadlock"]``,
+    see docs/OBSERVABILITY.md), so a fault-stalled cycle is
+    distinguishable from ordinary contention offline.  On a quiescent
+    network every count is zero and the verdict is ``"clear"``.
+    """
+    dead = network.dead_arcs
+    blocked = [
+        w
+        for w in network.worms
+        if w.state is WormState.INJECTING and w._blocked_since >= 0
+    ]
+    fault_stalled: list[int] = []
+    deadlocked: list[int] = []
+    contention: list[int] = []
+    for w in blocked:
+        seen = {w.uid}
+        cur = w
+        kind = "contention"
+        while True:
+            if cur.hop < cur.hops and cur.arcs[cur.hop] in dead:
+                kind = "fault-stalled"
+                break
+            holder = network._channels[cur.arcs[cur.hop]].occupied_by
+            if holder is None or holder._blocked_since < 0:
+                break  # head of the chain is progressing: plain contention
+            if holder.uid in seen:
+                kind = "deadlocked"
+                break
+            seen.add(holder.uid)
+            cur = holder
+        {"fault-stalled": fault_stalled, "deadlocked": deadlocked, "contention": contention}[
+            kind
+        ].append(w.uid)
+    if deadlocked:
+        verdict = "deadlock"
+    elif fault_stalled:
+        verdict = "fault-stall"
+    elif blocked:
+        verdict = "contention"
+    else:
+        verdict = "clear"
+    cycle = waiting_cycle(network)
+    return {
+        "verdict": verdict,
+        "blocked_worms": len(blocked),
+        "fault_stalled_worms": sorted(fault_stalled),
+        "deadlocked_worms": sorted(deadlocked),
+        "contention_worms": sorted(contention),
+        "waiting_cycle": cycle,
+        "dead_arcs": sorted(list(a) for a in dead),
+    }

@@ -18,6 +18,7 @@ class WormState(enum.Enum):
     INJECTING = "injecting"  # header advancing / blocked in the network
     DELIVERED = "delivered"  # tail drained at the destination router
     RECEIVED = "received"  # receiving CPU finished its software overhead
+    ABORTED = "aborted"  # header hit a dead channel; all held channels released
 
 
 @dataclass(slots=True)
@@ -46,11 +47,16 @@ class Worm:
     hop: int = 0
     held: int = 0
 
+    #: retry attempt this worm represents (0 for a first transmission;
+    #: set by fault-aware drivers when they re-inject after an abort)
+    attempt: int = 0
+
     # timestamps (microseconds); -1.0 means "not yet"
     t_created: float = -1.0
     t_injected: float = -1.0
     t_delivered: float = -1.0
     t_received: float = -1.0
+    t_aborted: float = -1.0
 
     # accumulated time the header spent blocked on busy channels
     blocked_time: float = 0.0

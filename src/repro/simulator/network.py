@@ -56,6 +56,17 @@ class WormholeNetwork:
             in tests, off in large benchmark sweeps).
         on_delivered: callback fired when a worm's tail drains at its
             destination router (before the receiving CPU's ``t_recv``).
+        on_aborted: callback fired when a worm aborts on a dead channel
+            (see :meth:`fail_arc`); fault-aware drivers hook retries here.
+
+    Channel failures (see docs/FAULTS.md): arcs marked dead via
+    :meth:`fail_arc` take effect at *acquisition* time.  A header that
+    attempts to acquire a dead channel aborts -- releasing every channel
+    it holds, waking the released channels' waiters -- as do headers
+    already queued on the channel when it fails.  A worm that acquired a
+    channel before the failure completes normally (its flits are already
+    in transit).  With no dead arcs, every code path is identical to the
+    fault-free network.
     """
 
     def __init__(
@@ -67,6 +78,7 @@ class WormholeNetwork:
         trace: bool = False,
         on_delivered: Callable[[Worm], None] | None = None,
         route: Callable[[int, int], list[Arc]] | None = None,
+        on_aborted: Callable[[Worm], None] | None = None,
     ) -> None:
         if n < 1:
             raise ValueError(f"hypercube dimension must be >= 1, got {n}")
@@ -76,13 +88,17 @@ class WormholeNetwork:
         self.order = order
         self.trace = ChannelTrace(enabled=trace)
         self.on_delivered = on_delivered
+        self.on_aborted = on_aborted
         #: routing function; defaults to E-cube in the given order.  Any
         #: non-E-cube function forfeits the deadlock-freedom guarantee
         #: (see repro.simulator.deadlock).
         self.route = route if route is not None else (lambda u, v: ecube_arcs(u, v, order))
         self._channels: dict[Arc, Channel] = {}
+        self._dead_arcs: set[Arc] = set()
         self._next_uid = 0
         self.worms: list[Worm] = []
+        #: number of worms aborted on dead channels so far
+        self.aborted_count = 0
 
     # -- topology validation hooks (overridable: see repro.mesh) --------
 
@@ -97,8 +113,15 @@ class WormholeNetwork:
 
     # -- worm creation / injection ------------------------------------
 
-    def make_worm(self, src: int, dst: int, size: int, payload=None) -> Worm:
-        """Create (but do not inject) a worm for the route ``src -> dst``."""
+    def make_worm(
+        self, src: int, dst: int, size: int, payload=None, arcs: list[Arc] | None = None
+    ) -> Worm:
+        """Create (but do not inject) a worm for the route ``src -> dst``.
+
+        ``arcs`` overrides the network routing function for this worm
+        only (fault-aware drivers use it to re-route retries around dead
+        channels).
+        """
         self.validate_node(src, "worm source")
         self.validate_node(dst, "worm destination")
         if src == dst:
@@ -110,7 +133,7 @@ class WormholeNetwork:
             src=src,
             dst=dst,
             size=size,
-            arcs=self.route(src, dst),
+            arcs=self.route(src, dst) if arcs is None else list(arcs),
             payload=payload,
         )
         worm.t_created = self.sim.now
@@ -133,6 +156,57 @@ class WormholeNetwork:
             ch = self._channels[arc] = Channel(arc)
         return ch
 
+    # -- channel failures ----------------------------------------------
+
+    @property
+    def dead_arcs(self) -> frozenset[Arc]:
+        """The directed channels currently marked dead."""
+        return frozenset(self._dead_arcs)
+
+    def fail_arc(self, arc: Arc) -> None:
+        """Mark one directed channel dead, effective immediately.
+
+        Headers queued on the channel abort now; the current occupant
+        (if any) completes -- its flits are already in transit -- and
+        every later acquisition attempt aborts (see :meth:`_abort`).
+        Schedulable as a timed event: ``sim.schedule_at(t, net.fail_arc,
+        arc)``.
+        """
+        self.validate_arc(arc)
+        self._dead_arcs.add(arc)
+        ch = self._channels.get(arc)
+        if ch is None:
+            return
+        while ch.queue:
+            waiter = ch.queue.popleft()
+            waiter.mark_unblocked(self.sim.now)
+            self._abort(waiter)
+
+    def fail_link(self, node: int, dim: int) -> None:
+        """Fail the bidirectional link ``{node, node ^ (1 << dim)}``
+        (both directed arcs)."""
+        self.fail_arc((node, dim))
+        self.fail_arc((node ^ (1 << dim), dim))
+
+    def _abort(self, worm: Worm) -> None:
+        """Abort a worm on a dead channel: release everything it holds."""
+        worm.state = WormState.ABORTED
+        worm.t_aborted = self.sim.now
+        self.aborted_count += 1
+        held = worm.arcs[: worm.held]
+        worm.held = 0
+        for arc in held:
+            ch = self.channel(arc)
+            assert ch.occupied_by is worm
+            ch.occupied_by = None
+            self.trace.release(arc, worm.uid, self.sim.now)
+            if ch.queue:
+                nxt = ch.queue.popleft()
+                nxt.mark_unblocked(self.sim.now)
+                self._occupy(nxt, ch)
+        if self.on_aborted is not None:
+            self.on_aborted(worm)
+
     # -- header progression -------------------------------------------
 
     def _advance(self, worm: Worm) -> None:
@@ -140,6 +214,9 @@ class WormholeNetwork:
         if worm.hop == worm.hops:
             # header at the destination router; the body pipelines in
             self.sim.schedule(worm.size * self.timings.t_byte, self._deliver, worm)
+            return
+        if self._dead_arcs and worm.arcs[worm.hop] in self._dead_arcs:
+            self._abort(worm)
             return
         ch = self.channel(worm.arcs[worm.hop])
         if ch.busy:
@@ -182,9 +259,11 @@ class WormholeNetwork:
         return sum(w.blocked_time for w in self.worms)
 
     def assert_quiescent(self) -> None:
-        """After a run: every worm delivered, every channel free."""
+        """After a run: every worm delivered (or aborted on a dead
+        channel), every channel free."""
+        terminal = (WormState.DELIVERED, WormState.RECEIVED, WormState.ABORTED)
         for w in self.worms:
-            if w.state not in (WormState.DELIVERED, WormState.RECEIVED):
+            if w.state not in terminal:
                 raise AssertionError(f"worm {w.uid} ({w.src}->{w.dst}) stuck in {w.state}")
         for ch in self._channels.values():
             if ch.busy or ch.queue:

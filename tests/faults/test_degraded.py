@@ -1,0 +1,137 @@
+"""The degraded view: surviving routes, detours, segments, reachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.paths import ResolutionOrder, ecube_arcs
+from repro.faults import (
+    DegradedHypercube,
+    FaultScenario,
+    LinkFault,
+    NodeFault,
+    detour_path,
+)
+
+
+def _hamming(u: int, v: int) -> int:
+    return bin(u ^ v).count("1")
+
+
+class TestEcubeRoute:
+    def test_intact_path_matches_ecube(self):
+        deg = DegradedHypercube(4, FaultScenario(4, links=(LinkFault(0, 0),)))
+        # P(1, 14) never uses link {0,1}
+        assert deg.ecube_route(1, 14) == ecube_arcs(1, 14, ResolutionOrder.DESCENDING)
+
+    def test_broken_path_is_none(self):
+        # descending order: 0 -> 8 first crosses arc (0, 3)
+        deg = DegradedHypercube(4, FaultScenario(4, links=(LinkFault(0, 3),)))
+        assert deg.ecube_route(0, 8) is None
+        assert deg.ecube_route(0, 12) is None  # same first arc
+        assert deg.ecube_route(0, 4) is not None
+
+    def test_fault_free_view_never_blocks(self):
+        deg = DegradedHypercube(4)
+        for v in range(1, 16):
+            assert deg.ecube_route(0, v) is not None
+
+
+class TestDetour:
+    def test_detour_equals_ecube_when_intact(self):
+        deg = DegradedHypercube(4)
+        path = deg.detour(0, 0b1011)
+        assert path is not None and len(path) - 1 == _hamming(0, 0b1011)
+        assert path[0] == 0 and path[-1] == 0b1011
+
+    def test_detour_avoids_dead_arcs_and_is_shortest(self):
+        scenario = FaultScenario(4, links=(LinkFault(0, 3),))
+        deg = DegradedHypercube(4, scenario)
+        path = deg.detour(0, 8)
+        assert path is not None
+        # shortest surviving path is distance + 2 (out and back on a spare dim)
+        assert len(path) - 1 == _hamming(0, 8) + 2
+        dead = deg.dead_arcs
+        for a, b in zip(path, path[1:]):
+            assert _hamming(a, b) == 1
+            assert (a, (a ^ b).bit_length() - 1) not in dead
+
+    def test_deterministic(self):
+        scenario = FaultScenario.random_links(6, 4, seed=11)
+        a = DegradedHypercube(6, scenario).detour(0, 63)
+        b = DegradedHypercube(6, scenario).detour(0, 63)
+        assert a == b
+
+    def test_detour_path_trivial(self):
+        assert detour_path(4, 5, 5, frozenset()) == [5]
+
+    def test_unreachable_returns_none(self):
+        # cut every arc out of node 0
+        scenario = FaultScenario(2, links=(LinkFault(0, 0), LinkFault(0, 1)))
+        deg = DegradedHypercube(2, scenario)
+        assert deg.detour(0, 3) is None
+        assert deg.route(0, 3) is None
+        assert deg.segments(0, 3) is None
+
+
+class TestSegments:
+    def test_intact_is_single_segment(self):
+        deg = DegradedHypercube(4)
+        assert deg.segments(0, 9) == [(0, 9)]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_segments_chain_and_are_ecube_clean(self, seed):
+        scenario = FaultScenario.random_links(5, 3, seed=seed)
+        deg = DegradedHypercube(5, scenario)
+        reachable = deg.reachable_from(0)
+        for v in sorted(reachable - {0}):
+            segs = deg.segments(0, v)
+            assert segs is not None
+            assert segs[0][0] == 0 and segs[-1][1] == v
+            for (_, b), (a2, _) in zip(segs, segs[1:]):
+                assert b == a2  # contiguous chain
+            for a, b in segs:
+                assert deg.ecube_route(a, b) is not None  # each a legal unicast
+
+
+class TestReachability:
+    def test_fault_free_reaches_everything(self):
+        assert DegradedHypercube(4).reachable_from(0) == frozenset(range(16))
+
+    def test_link_faults_rarely_disconnect(self):
+        # n-cube is n-connected: n-1 dead links cannot disconnect it
+        scenario = FaultScenario.random_links(4, 3, seed=3)
+        deg = DegradedHypercube(4, scenario)
+        assert deg.reachable_from(0) == frozenset(range(16))
+
+    def test_isolated_node(self):
+        scenario = FaultScenario(2, links=(LinkFault(0, 0), LinkFault(0, 1)))
+        deg = DegradedHypercube(2, scenario)
+        assert deg.reachable_from(0) == {0}
+        assert deg.reachable_from(3) == {1, 2, 3}
+
+    def test_dead_router_is_unreachable_and_reaches_nothing(self):
+        deg = DegradedHypercube(3, FaultScenario(3, nodes=(NodeFault(5),)))
+        assert deg.reachable_from(5) == frozenset()
+        assert 5 not in deg.reachable_from(0)
+        assert deg.reachable_from(0) == frozenset(range(8)) - {5}
+
+    def test_timed_faults_excluded_at_time_zero(self):
+        scenario = FaultScenario(3, links=(LinkFault(0, 0, t_fail=500.0),))
+        assert DegradedHypercube(3, scenario, at=0.0).dead_arcs == frozenset()
+        assert len(DegradedHypercube(3, scenario).dead_arcs) == 2
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DegradedHypercube(5, FaultScenario(4))
+
+
+class TestAscendingOrder:
+    def test_order_respected(self):
+        # ascending order: 0 -> 3 resolves dim 0 first, so killing arc
+        # (0, 0) breaks it while descending order's path survives
+        scenario = FaultScenario(2, links=(LinkFault(0, 0),))
+        asc = DegradedHypercube(2, scenario, order=ResolutionOrder.ASCENDING)
+        desc = DegradedHypercube(2, scenario, order=ResolutionOrder.DESCENDING)
+        assert asc.ecube_route(0, 3) is None
+        assert desc.ecube_route(0, 3) is not None

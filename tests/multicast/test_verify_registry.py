@@ -11,7 +11,12 @@ from repro.multicast import (
     MulticastTree,
     verify_multicast,
 )
-from repro.multicast.registry import ALGORITHMS, PAPER_ALGORITHMS, get_algorithm
+from repro.multicast.registry import (
+    ALGORITHMS,
+    PAPER_ALGORITHMS,
+    get_algorithm,
+    register,
+)
 from repro.multicast.verify import verify_tree
 
 
@@ -106,3 +111,37 @@ class TestRegistry:
 
     def test_repr(self):
         assert "wsort" in repr(get_algorithm("wsort"))
+
+
+class TestRegisterHook:
+    def test_register_and_resolve(self):
+        register("test-relay", BrokenRelay)
+        try:
+            assert isinstance(get_algorithm("test-relay"), BrokenRelay)
+        finally:
+            ALGORITHMS.pop("test-relay", None)
+
+    def test_taken_name_rejected_without_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("wsort", BrokenRelay)
+        assert not isinstance(get_algorithm("wsort"), BrokenRelay)
+
+    def test_replace_overrides_and_restores(self):
+        original = ALGORITHMS["wsort"]
+        register("wsort", BrokenRelay, replace=True)
+        try:
+            assert isinstance(get_algorithm("wsort"), BrokenRelay)
+        finally:
+            register("wsort", original, replace=True)
+        assert not isinstance(get_algorithm("wsort"), BrokenRelay)
+
+    def test_returns_factory_for_decorator_use(self):
+        assert register("test-decorated", BrokenRelay) is BrokenRelay
+        ALGORITHMS.pop("test-decorated", None)
+
+    def test_exported_from_package(self):
+        import repro
+        import repro.multicast
+
+        assert repro.multicast.register is register
+        assert repro.register is register

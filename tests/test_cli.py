@@ -177,6 +177,55 @@ class TestCollectiveTelemetry:
         assert records[0].algorithm == "scatter"
 
 
+class TestFaults:
+    def test_sweep_prints_counters(self, capsys):
+        rc = main(["faults", "-n", "4", "--links", "0,2", "--sets", "2", "-m", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault sweep" in out
+        for col in ("delivered", "ratio", "aborted", "retries"):
+            assert col in out
+        for name in ("ucube", "maxport", "combine", "wsort"):
+            assert name in out
+
+    def test_repair_mode_single_algorithm(self, capsys):
+        rc = main(
+            ["faults", "-n", "4", "--links", "2", "--sets", "1", "-a", "wsort", "--repair"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault-aware repair" in out
+        assert "ucube" not in out
+
+    def test_min_ratio_gate(self, capsys):
+        # an impossible floor forces a nonzero exit once faults bite
+        rc = main(
+            ["faults", "-n", "4", "--links", "1", "--sets", "1", "-m", "2",
+             "--deadline-us", "1", "--min-ratio", "1.0"]
+        )
+        assert rc == 1
+
+    def test_telemetry_export(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.sink import read_jsonl
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out = str(tmp_path / "faults.jsonl")
+        rc = main(
+            ["faults", "-n", "6", "--links", "3", "--sets", "2", "-a", "wsort",
+             "--telemetry", out]
+        )
+        assert rc == 0
+        records = read_jsonl(out)
+        assert len(records) == 2  # one per destination set
+        for rec in records:
+            assert rec.kind == "degraded-multicast"
+            assert rec.extra["failed_links"] == 3
+            assert "aborted_worms" in rec.extra and "retries" in rec.extra
+            assert rec.extra["deadlock"]["verdict"] in (
+                "clear", "contention", "fault-stall", "deadlock"
+            )
+
+
 class TestCollective:
     @pytest.mark.parametrize(
         "op", ["broadcast", "scatter", "gather", "allgather", "reduce", "allreduce", "barrier"]

@@ -82,6 +82,20 @@ def test_telemetry_export(capsys):
     assert "none (contention-free)" in out
 
 
+def test_fault_injection(capsys):
+    out = run_example("fault_injection.py", capsys)
+    assert "aborted worms: 2" in out
+    assert "fault-aware" in out
+    assert "delivery ratio 1.000" in out
+    assert "delivery ratio 0.875" in out  # the dead-router case
+    assert "verification ok: True" in out
+    assert "bit-identical to simulate_multicast: True" in out
+    # the example must leave the global registry as it found it
+    from repro.multicast.registry import ALGORITHMS
+
+    assert "fault-wsort" not in ALGORITHMS
+
+
 def test_stencil_exchange(capsys):
     out = run_example("stencil_exchange.py", capsys)
     assert "Gray-code embedding" in out
