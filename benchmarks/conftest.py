@@ -9,6 +9,7 @@ DESIGN.md shape criteria, prints the table, and archives it under
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 
 import pytest
@@ -18,12 +19,28 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture
 def save_table(capsys):
-    """Print a Table and archive its rendering to results/<name>.txt."""
+    """Print a Table and archive its rendering to results/<name>.txt.
+
+    Safe under parallel workers (pytest-xdist, the sweep engine's
+    process pool): directory creation tolerates concurrent creators and
+    the archive is published atomically (temp file + ``os.replace``) so
+    two jobs archiving the same figure never interleave partial writes.
+    """
 
     def _save(name: str, table, precision: int = 2) -> None:
         text = table.render(precision)
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=RESULTS_DIR, prefix=f".{name}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(text + "\n")
+            os.replace(tmp, RESULTS_DIR / f"{name}.txt")
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         with capsys.disabled():
             print()
             print(text)

@@ -13,11 +13,11 @@ from statistics import mean
 from typing import Sequence
 
 from repro.analysis.workloads import random_destination_sets
-from repro.multicast.base import MulticastAlgorithm
 from repro.multicast.ports import ALL_PORT, PortModel
-from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.multicast.registry import PAPER_ALGORITHMS
+from repro.parallel.cache import cached_delay_stats
+from repro.parallel.engine import run_points
 from repro.simulator.params import NCUBE2, Timings
-from repro.simulator.run import simulate_multicast
 
 __all__ = ["DelayResult", "delay_experiment"]
 
@@ -41,6 +41,46 @@ class DelayResult:
         return list(zip(self.m_values, data[algorithm]))
 
 
+@dataclass(frozen=True, slots=True)
+class _DelayPoint:
+    """Picklable spec for one x-axis point of a delay sweep."""
+
+    n: int
+    m: int
+    sets_per_point: int
+    seed: int
+    source: int
+    algorithms: tuple[str, ...]
+    size: int
+    timings: Timings
+    ports: PortModel
+
+
+def _delay_point(spec: _DelayPoint) -> dict[str, tuple[float, float, float]]:
+    """Evaluate one point: ``{algorithm: (avg, max, blocked) means}``.
+
+    Module-level (and spec-driven) so the sweep engine can run it in a
+    worker process; the serial path runs the identical code.  Each
+    (algorithm, destination-set) simulation is served from the schedule
+    cache when one is active.
+    """
+    sets = random_destination_sets(
+        spec.n, spec.m, spec.sets_per_point, seed=spec.seed, source=spec.source
+    )
+    out: dict[str, tuple[float, float, float]] = {}
+    for name in spec.algorithms:
+        avgs, maxs, blks = [], [], []
+        for dests in sets:
+            stats = cached_delay_stats(
+                name, spec.n, spec.source, dests, spec.size, spec.timings, spec.ports
+            )
+            avgs.append(stats["avg_delay_us"])
+            maxs.append(stats["max_delay_us"])
+            blks.append(stats["total_blocked_us"])
+        out[name] = (mean(avgs), mean(maxs), mean(blks))
+    return out
+
+
 def delay_experiment(
     n: int,
     m_values: Sequence[int],
@@ -54,6 +94,12 @@ def delay_experiment(
 ) -> DelayResult:
     """Run the Figures 11-14 experiment.
 
+    Points run through :func:`repro.parallel.engine.run_points` (serial
+    by default, process-pool fan-out inside a
+    :func:`~repro.parallel.engine.sweep_context`) and each simulated
+    multicast's delay summary is content-address cached, so Figures 11
+    and 12 -- which share every point -- simulate each one once.
+
     Args:
         n: cube dimension (5 for the nCUBE-2 figures, 10 for the
             MultiSim figures).
@@ -62,24 +108,23 @@ def delay_experiment(
             100 in simulation).
         size: message length in bytes (paper: 4096).
     """
-    algs: dict[str, MulticastAlgorithm] = {name: get_algorithm(name) for name in algorithms}
+    specs = [
+        _DelayPoint(
+            n, m, sets_per_point, seed + i, source, tuple(algorithms), size, timings, ports
+        )
+        for i, m in enumerate(m_values)
+    ]
+    points = run_points(_delay_point, specs, label="delay")
+
     avg_delay: dict[str, list[float]] = {name: [] for name in algorithms}
     max_delay: dict[str, list[float]] = {name: [] for name in algorithms}
     blocked: dict[str, list[float]] = {name: [] for name in algorithms}
-
-    for i, m in enumerate(m_values):
-        sets = random_destination_sets(n, m, sets_per_point, seed=seed + i, source=source)
-        for name, alg in algs.items():
-            avgs, maxs, blks = [], [], []
-            for dests in sets:
-                tree = alg.build_tree(n, source, dests)
-                res = simulate_multicast(tree, size=size, timings=timings, ports=ports)
-                avgs.append(res.avg_delay)
-                maxs.append(res.max_delay)
-                blks.append(res.total_blocked_time)
-            avg_delay[name].append(mean(avgs))
-            max_delay[name].append(mean(maxs))
-            blocked[name].append(mean(blks))
+    for point in points:
+        for name in algorithms:
+            avg, mx, blk = point[name]
+            avg_delay[name].append(avg)
+            max_delay[name].append(mx)
+            blocked[name].append(blk)
 
     return DelayResult(
         n=n,

@@ -15,7 +15,7 @@ import os
 from dataclasses import dataclass
 from statistics import mean
 from time import perf_counter
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.obs import sink as _telemetry_sink
 from repro.obs.telemetry import RunRecord, new_run_id
@@ -27,10 +27,12 @@ from repro.analysis.workloads import random_destination_sets
 from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
 from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.engine import run_points, sweep_context
 from repro.simulator.params import NCUBE2
 from repro.simulator.run import simulate_multicast
 
-__all__ = ["EXPERIMENTS", "Experiment", "run_experiment"]
+__all__ = ["EXPERIMENTS", "Experiment", "run_experiment", "run_sweep"]
 
 
 def default_fast() -> bool:
@@ -303,6 +305,40 @@ def _ablation_sensitivity(fast: bool) -> Table:
     )
 
 
+@dataclass(frozen=True, slots=True)
+class _ConcurrentPoint:
+    """Picklable spec for one k of the concurrent-multicast ablation."""
+
+    k: int
+    trials: int
+    algorithms: tuple[str, ...]
+
+
+def _concurrent_point(spec: _ConcurrentPoint) -> dict[str, float]:
+    """One k-point: mean (over trials and operations) avg delay per
+    algorithm.  Module-level so the sweep engine can fan it out."""
+    import numpy as np
+
+    from repro.simulator.multirun import simulate_concurrent_multicasts
+
+    per: dict[str, list[float]] = {name: [] for name in spec.algorithms}
+    for t in range(spec.trials):
+        rng = np.random.default_rng(7500 + 97 * spec.k + t)
+        sources = [int(s) for s in rng.choice(64, size=spec.k, replace=False)]
+        dest_sets = []
+        for s in sources:
+            cand = np.array([u for u in range(64) if u != s])
+            dest_sets.append(sorted(int(x) for x in rng.choice(cand, 16, replace=False)))
+        for name in spec.algorithms:
+            alg = get_algorithm(name)
+            trees = [
+                alg.build_tree(6, s, d) for s, d in zip(sources, dest_sets)
+            ]
+            res = simulate_concurrent_multicasts(trees, 4096, NCUBE2, ALL_PORT)
+            per[name].append(mean(res.avg_delays))
+    return {name: mean(per[name]) for name in spec.algorithms}
+
+
 def _ablation_concurrent(fast: bool) -> Table:
     """Interference between concurrent multicasts (beyond the paper).
 
@@ -310,31 +346,13 @@ def _ablation_concurrent(fast: bool) -> Table:
     random destinations in a 6-cube; the metric is the mean (over
     operations and trials) of the per-operation average delay.
     """
-    import numpy as np
-
-    from repro.simulator.multirun import simulate_concurrent_multicasts
-
     ks = [1, 2, 4, 8]
     trials = 8 if fast else 25
-    columns: dict[str, list[float]] = {name: [] for name in PAPER_ALGORITHMS}
-    for k in ks:
-        per = {name: [] for name in PAPER_ALGORITHMS}
-        for t in range(trials):
-            rng = np.random.default_rng(7500 + 97 * k + t)
-            sources = [int(s) for s in rng.choice(64, size=k, replace=False)]
-            dest_sets = []
-            for s in sources:
-                cand = np.array([u for u in range(64) if u != s])
-                dest_sets.append(sorted(int(x) for x in rng.choice(cand, 16, replace=False)))
-            for name in PAPER_ALGORITHMS:
-                alg = get_algorithm(name)
-                trees = [
-                    alg.build_tree(6, s, d) for s, d in zip(sources, dest_sets)
-                ]
-                res = simulate_concurrent_multicasts(trees, 4096, NCUBE2, ALL_PORT)
-                per[name].append(mean(res.avg_delays))
-        for name in PAPER_ALGORITHMS:
-            columns[name].append(mean(per[name]))
+    specs = [_ConcurrentPoint(k, trials, PAPER_ALGORITHMS) for k in ks]
+    points = run_points(_concurrent_point, specs, label="concurrent")
+    columns: dict[str, list[float]] = {
+        name: [point[name] for point in points] for name in PAPER_ALGORITHMS
+    }
     return Table(
         title="Ablation: k concurrent multicasts (mean avg delay us, m=16, 6-cube)",
         x_label="k",
@@ -349,11 +367,21 @@ def _ablation_concurrent(fast: bool) -> Table:
 # ---------------------------------------------------------------------------
 
 
-def _fault_sweep(fast: bool) -> dict:
-    """Shared sweep: 6-cube, m=16, the four paper algorithms under k
-    failed links, comparing oblivious abort+retry against fault-aware
-    repair.  Returns per-(k, algorithm) mean avg delay (over delivered
-    destinations) and mean delivery ratio, both modes."""
+@dataclass(frozen=True, slots=True)
+class _FaultPoint:
+    """Picklable spec for one failed-link count of the fault sweep."""
+
+    k: int
+    n: int
+    m: int
+    sets: int
+    algorithms: tuple[str, ...]
+
+
+def _fault_point(spec: _FaultPoint) -> dict[str, dict[str, float]]:
+    """One k-point of the fault sweep: per algorithm, mean avg delay
+    and delivery ratio for both modes.  Module-level so the sweep
+    engine can fan it out; seeds derive from k alone."""
     from repro.faults import (
         DegradedHypercube,
         FaultScenario,
@@ -361,8 +389,50 @@ def _fault_sweep(fast: bool) -> dict:
         simulate_degraded_multicast,
     )
 
+    k, n = spec.k, spec.n
+    scenario = (
+        FaultScenario.random_links(n, k, seed=9300 + k) if k else FaultScenario(n)
+    )
+    degraded = DegradedHypercube(n, scenario)
+    dest_sets = random_destination_sets(n, spec.m, spec.sets, seed=9400 + k)
+    out: dict[str, dict[str, float]] = {}
+    for name in spec.algorithms:
+        delays, ratios, r_delays, r_ratios = [], [], [], []
+        for dests in dest_sets:
+            res = simulate_degraded_multicast(
+                get_algorithm(name).build_tree(n, 0, dests),
+                scenario,
+                label=f"faults/{name}/links{k}",
+            )
+            delays.append(res.avg_delay)
+            ratios.append(res.delivery_ratio)
+            report = repair_multicast(name, degraded, n, 0, dests)
+            r_res = simulate_degraded_multicast(
+                report.tree,
+                scenario,
+                label=f"faults/fault-{name}/links{k}",
+                unreachable_hint=report.unreachable,
+            )
+            r_delays.append(r_res.avg_delay)
+            r_ratios.append(r_res.delivery_ratio)
+        out[name] = {
+            "delay": mean(delays),
+            "ratio": mean(ratios),
+            "repaired_delay": mean(r_delays),
+            "repaired_ratio": mean(r_ratios),
+        }
+    return out
+
+
+def _fault_sweep(fast: bool) -> dict:
+    """Shared sweep: 6-cube, m=16, the four paper algorithms under k
+    failed links, comparing oblivious abort+retry against fault-aware
+    repair.  Returns per-(k, algorithm) mean avg delay (over delivered
+    destinations) and mean delivery ratio, both modes."""
     ks = [0, 1, 2, 3] if fast else [0, 1, 2, 3, 4, 6, 8]
     sets = 4 if fast else 15
+    specs = [_FaultPoint(k, 6, 16, sets, PAPER_ALGORITHMS) for k in ks]
+    points = run_points(_fault_point, specs, label="faults")
     out = {
         "ks": ks,
         "delay": {name: [] for name in PAPER_ALGORITHMS},
@@ -370,35 +440,10 @@ def _fault_sweep(fast: bool) -> dict:
         "repaired_delay": {name: [] for name in PAPER_ALGORITHMS},
         "repaired_ratio": {name: [] for name in PAPER_ALGORITHMS},
     }
-    for k in ks:
-        scenario = (
-            FaultScenario.random_links(6, k, seed=9300 + k) if k else FaultScenario(6)
-        )
-        degraded = DegradedHypercube(6, scenario)
-        dest_sets = random_destination_sets(6, 16, sets, seed=9400 + k)
+    for point in points:
         for name in PAPER_ALGORITHMS:
-            delays, ratios, r_delays, r_ratios = [], [], [], []
-            for dests in dest_sets:
-                res = simulate_degraded_multicast(
-                    get_algorithm(name).build_tree(6, 0, dests),
-                    scenario,
-                    label=f"faults/{name}/links{k}",
-                )
-                delays.append(res.avg_delay)
-                ratios.append(res.delivery_ratio)
-                report = repair_multicast(name, degraded, 6, 0, dests)
-                r_res = simulate_degraded_multicast(
-                    report.tree,
-                    scenario,
-                    label=f"faults/fault-{name}/links{k}",
-                    unreachable_hint=report.unreachable,
-                )
-                r_delays.append(r_res.avg_delay)
-                r_ratios.append(r_res.delivery_ratio)
-            out["delay"][name].append(mean(delays))
-            out["ratio"][name].append(mean(ratios))
-            out["repaired_delay"][name].append(mean(r_delays))
-            out["repaired_ratio"][name].append(mean(r_ratios))
+            for field_name in ("delay", "ratio", "repaired_delay", "repaired_ratio"):
+                out[field_name][name].append(point[name][field_name])
     return out
 
 
@@ -486,15 +531,8 @@ EXPERIMENTS: dict[str, Experiment] = {
 }
 
 
-def run_experiment(exp_id: str, fast: bool | None = None) -> Table:
-    """Run a registered experiment by id (``fig9`` ... ``fig14``, or an
-    ablation id).
-
-    When a telemetry sink is active (``REPRO_TELEMETRY`` or the CLI's
-    ``--telemetry``), one ``kind="experiment-point"``
-    :class:`~repro.obs.telemetry.RunRecord` is emitted per x-axis point
-    of the figure, carrying that point's value for every curve.
-    """
+def _run_one(exp_id: str, fast: bool | None) -> Table:
+    """Run one experiment under whatever sweep context is active."""
     try:
         exp = EXPERIMENTS[exp_id]
     except KeyError:
@@ -509,6 +547,68 @@ def run_experiment(exp_id: str, fast: bool | None = None) -> Table:
     if sink is not None:
         _emit_table_points(sink, exp, table, fast, wall_seconds)
     return table
+
+
+def run_experiment(
+    exp_id: str,
+    fast: bool | None = None,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+) -> Table:
+    """Run a registered experiment by id (``fig9`` ... ``fig14``, or an
+    ablation id).
+
+    Args:
+        exp_id: registered experiment id.
+        fast: thinned sweep (default: fast unless ``REPRO_FULL``).
+        jobs: fan the figure's points across this many worker processes
+            (``0`` -> the CPU count / ``REPRO_JOBS``).  With the
+            default ``None`` (and no ``cache_dir``) the experiment runs
+            exactly as it always has: serially, in-process.  Results
+            are bit-identical either way.
+        cache_dir: content-addressed schedule/delay cache directory
+            shared across runs and workers (see
+            :mod:`repro.parallel.cache`); enables caching even with
+            serial execution.
+
+    When a telemetry sink is active (``REPRO_TELEMETRY`` or the CLI's
+    ``--telemetry``), one ``kind="experiment-point"``
+    :class:`~repro.obs.telemetry.RunRecord` is emitted per x-axis point
+    of the figure, carrying that point's value for every curve --
+    worker telemetry included, merged into the same sink.
+    """
+    if jobs is None and cache_dir is None:
+        return _run_one(exp_id, fast)
+    with sweep_context(jobs=1 if jobs is None else jobs, cache_dir=cache_dir):
+        return _run_one(exp_id, fast)
+
+
+def run_sweep(
+    exp_ids: Sequence[str],
+    fast: bool | None = None,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> dict[str, Table]:
+    """Run several experiments under one shared sweep context.
+
+    One process pool configuration and one schedule cache span all the
+    experiments, so figures that share points (11/12, 13/14, the two
+    fault figures) compute each point once.  Returns ``{id: Table}``
+    in the requested order; ``metrics`` (optional) receives the
+    ``sim.parallel.*`` engine counters.
+    """
+    ids = list(exp_ids)
+    unknown = [exp_id for exp_id in ids if exp_id not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment(s) {unknown}; known: {known}")
+    with sweep_context(
+        jobs=1 if jobs is None else jobs, cache_dir=cache_dir, metrics=metrics
+    ):
+        return {exp_id: _run_one(exp_id, fast) for exp_id in ids}
 
 
 def _emit_table_points(

@@ -14,9 +14,10 @@ from statistics import mean
 from typing import Sequence
 
 from repro.analysis.workloads import random_destination_sets
-from repro.multicast.base import MulticastAlgorithm
 from repro.multicast.ports import ALL_PORT, PortModel
-from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.multicast.registry import PAPER_ALGORITHMS
+from repro.parallel.cache import cached_schedule_table
+from repro.parallel.engine import run_points
 
 __all__ = ["StepsResult", "stepwise_experiment"]
 
@@ -39,6 +40,38 @@ class StepsResult:
         return list(zip(self.m_values, self.mean_steps[algorithm]))
 
 
+@dataclass(frozen=True, slots=True)
+class _StepsPoint:
+    """Picklable spec for one x-axis point of a stepwise sweep."""
+
+    n: int
+    m: int
+    sets_per_point: int
+    seed: int
+    source: int
+    algorithms: tuple[str, ...]
+    ports: PortModel
+
+
+def _steps_point(spec: _StepsPoint) -> dict[str, tuple[float, int, int]]:
+    """Evaluate one point: ``{algorithm: (mean, min, max) max-steps}``.
+
+    Module-level (and spec-driven) so the sweep engine can run it in a
+    worker process; the serial path runs the identical code.
+    """
+    sets = random_destination_sets(
+        spec.n, spec.m, spec.sets_per_point, seed=spec.seed, source=spec.source
+    )
+    out: dict[str, tuple[float, int, int]] = {}
+    for name in spec.algorithms:
+        counts = [
+            cached_schedule_table(name, spec.n, spec.source, dests, spec.ports)["max_step"]
+            for dests in sets
+        ]
+        out[name] = (mean(counts), min(counts), max(counts))
+    return out
+
+
 def stepwise_experiment(
     n: int,
     m_values: Sequence[int],
@@ -50,26 +83,36 @@ def stepwise_experiment(
 ) -> StepsResult:
     """Run the Figures 9/10 experiment.
 
+    Points run through :func:`repro.parallel.engine.run_points`:
+    serial by default, fanned across a process pool inside a
+    :func:`~repro.parallel.engine.sweep_context`, with identical
+    results either way.
+
     Args:
         n: cube dimension (6 for Fig. 9, 10 for Fig. 10).
         m_values: destination-set sizes to sweep.
         algorithms: registry names, one curve each.
         sets_per_point: random sets per (m, algorithm) point (paper: 100).
         seed: RNG seed; the same sets are used for all algorithms, as in
-            a paired experiment.
+            a paired experiment.  Per-point seeds are ``seed + i`` by
+            x-index -- part of the point spec, so results never depend
+            on scheduling order.
     """
-    algs: dict[str, MulticastAlgorithm] = {name: get_algorithm(name) for name in algorithms}
+    specs = [
+        _StepsPoint(n, m, sets_per_point, seed + i, source, tuple(algorithms), ports)
+        for i, m in enumerate(m_values)
+    ]
+    points = run_points(_steps_point, specs, label="stepwise")
+
     mean_steps: dict[str, list[float]] = {name: [] for name in algorithms}
     min_steps: dict[str, list[int]] = {name: [] for name in algorithms}
     max_steps: dict[str, list[int]] = {name: [] for name in algorithms}
-
-    for i, m in enumerate(m_values):
-        sets = random_destination_sets(n, m, sets_per_point, seed=seed + i, source=source)
-        for name, alg in algs.items():
-            counts = [alg.schedule(n, source, dests, ports).max_step for dests in sets]
-            mean_steps[name].append(mean(counts))
-            min_steps[name].append(min(counts))
-            max_steps[name].append(max(counts))
+    for point in points:
+        for name in algorithms:
+            avg, lo, hi = point[name]
+            mean_steps[name].append(avg)
+            min_steps[name].append(lo)
+            max_steps[name].append(hi)
 
     return StepsResult(
         n=n,

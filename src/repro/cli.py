@@ -11,12 +11,18 @@ Subcommands:
 - ``faults`` -- sweep delivery time and delivery ratio against the
   number of failed links, oblivious (abort + retry) or repaired
   (fault-aware detour schedules); see docs/FAULTS.md.
+- ``sweep`` -- run several figure reproductions under one parallel
+  sweep context: shared process pool, shared schedule cache, merged
+  telemetry; see docs/PERFORMANCE.md.
 
-``experiment``, ``collective``, ``stats``, and ``faults`` accept
-``--telemetry PATH`` to export structured
+``experiment``, ``collective``, ``stats``, ``faults``, and ``sweep``
+accept ``--telemetry PATH`` to export structured
 :class:`~repro.obs.telemetry.RunRecord` JSON lines (equivalently: set
 the ``REPRO_TELEMETRY`` environment variable; see
-docs/OBSERVABILITY.md).
+docs/OBSERVABILITY.md).  ``experiment`` and ``sweep`` accept
+``--parallel`` / ``--jobs N`` / ``--cache-dir PATH`` to fan points
+across worker processes with content-addressed schedule caching;
+results are bit-identical to serial runs.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.experiments import EXPERIMENTS, run_experiment, run_sweep
 from repro.collectives.api import HypercubeCollectives
 from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
@@ -101,8 +107,44 @@ def _cmd_tree(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _resolve_jobs(args: argparse.Namespace) -> int | None:
+    """``--jobs N`` / ``--parallel`` -> worker count (None = serial)."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        return max(1, jobs)
+    if getattr(args, "parallel", False):
+        from repro.parallel.engine import default_jobs
+
+        return default_jobs()
+    return None
+
+
+def _print_parallel_summary(registry, file=None) -> None:
+    """One-line ``sim.parallel.*`` digest after a parallel run."""
+    snap = registry.snapshot()
+
+    def val(name: str) -> float:
+        return snap.get(f"sim.parallel.{name}", {}).get("value", 0)
+
+    wall = snap.get("sim.parallel.dispatch_wall", {}).get("total_seconds", 0.0)
+    print(
+        f"parallel: {val('points_total'):g} point(s), "
+        f"{val('points_remote'):g} remote, "
+        f"cache {val('cache_hits'):g} hit(s) / {val('cache_misses'):g} miss(es), "
+        f"{val('worker_failures'):g} worker failure(s), "
+        f"dispatch {wall:.2f} s",
+        file=file if file is not None else sys.stdout,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    table = _with_telemetry(args, lambda: run_experiment(args.id, fast=not args.full))
+    jobs = _resolve_jobs(args)
+    table = _with_telemetry(
+        args,
+        lambda: run_experiment(
+            args.id, fast=not args.full, jobs=jobs, cache_dir=args.cache_dir
+        ),
+    )
     if args.json:
         print(table.to_json())
         return 0
@@ -112,6 +154,49 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         print()
         print(ascii_plot(table))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+
+    ids = args.ids or sorted(EXPERIMENTS)
+    unknown = [exp_id for exp_id in ids if exp_id not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    jobs = _resolve_jobs(args)
+    registry = MetricsRegistry()
+    tables = _with_telemetry(
+        args,
+        lambda: run_sweep(
+            ids,
+            fast=not args.full,
+            jobs=jobs,
+            cache_dir=args.cache_dir,
+            metrics=registry,
+        ),
+    )
+    if args.json:
+        import json as _json
+
+        print(
+            _json.dumps(
+                {exp_id: _json.loads(table.to_json()) for exp_id, table in tables.items()},
+                indent=2,
+            )
+        )
+    else:
+        for i, table in enumerate(tables.values()):
+            if i:
+                print()
+            print(table.render(args.precision))
+    # with --json stdout is the document alone; the digest goes to stderr
+    out = sys.stderr if args.json else sys.stdout
+    _print_parallel_summary(registry, file=out)
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}", file=out)
     return 0
 
 
@@ -370,10 +455,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--plot", action="store_true", help="also draw an ASCII plot")
     p_exp.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p_exp.add_argument(
+        "--parallel", action="store_true",
+        help="fan figure points across worker processes (CPU count / REPRO_JOBS)",
+    )
+    p_exp.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker process count (implies --parallel; 1 = serial)",
+    )
+    p_exp.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed schedule/delay cache shared across runs and workers",
+    )
+    p_exp.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="export one RunRecord JSON line per figure point to PATH",
     )
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run several figure reproductions under one parallel context"
+    )
+    p_sweep.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment ids (default: every registered experiment)",
+    )
+    p_sweep.add_argument("--full", action="store_true", help="paper-parity parameters")
+    p_sweep.add_argument("--precision", type=int, default=2)
+    p_sweep.add_argument("--json", action="store_true", help="emit one JSON document")
+    p_sweep.add_argument(
+        "--parallel", action="store_true",
+        help="fan points across worker processes (CPU count / REPRO_JOBS)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker process count (implies --parallel; 1 = serial)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed schedule/delay cache shared across runs and workers",
+    )
+    p_sweep.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="export merged RunRecord JSON lines (workers included) to PATH",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_rep = sub.add_parser("report", help="paper-vs-measured markdown report")
     p_rep.add_argument("--full", action="store_true", help="paper-parity parameters")

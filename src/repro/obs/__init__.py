@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     Timer,
+    merge_snapshot,
 )
 from repro.obs.probes import (
     CallbackTimeProbe,
@@ -67,6 +68,7 @@ __all__ = [
     "default_probes",
     "get_sink",
     "hotspot_arcs",
+    "merge_snapshot",
     "new_run_id",
     "per_dimension_blocked_time",
     "per_dimension_busy_time",

@@ -1,0 +1,50 @@
+"""Parallel sweep engine: process-pool fan-out with schedule caching.
+
+The paper's evaluation grid -- (cube size, message length, algorithm,
+trial seed) -- is embarrassingly parallel; this package executes it
+that way while guaranteeing bit-identical results to the serial path:
+
+- :mod:`repro.parallel.engine` -- :func:`sweep_context` /
+  :func:`run_points`: chunked process-pool dispatch with in-process
+  fallback on worker failure, plus per-worker telemetry and metrics
+  merging (``sim.parallel.*``);
+- :mod:`repro.parallel.cache` -- a content-addressed two-layer cache
+  for multicast schedules, step tables, and simulated delay summaries,
+  shared across workers through an optional ``cache_dir``;
+- :mod:`repro.parallel.seeds` -- order-independent per-point seed
+  derivation.
+
+See docs/PERFORMANCE.md for the execution model, the seed-derivation
+scheme, and the cache layout.
+"""
+
+from repro.parallel.cache import (
+    ScheduleCache,
+    cache_key,
+    cached_delay_stats,
+    cached_schedule_table,
+    get_active_cache,
+)
+from repro.parallel.engine import (
+    SweepConfig,
+    default_jobs,
+    get_sweep_metrics,
+    run_points,
+    sweep_context,
+)
+from repro.parallel.seeds import derive_seed, spawn_seeds
+
+__all__ = [
+    "ScheduleCache",
+    "SweepConfig",
+    "cache_key",
+    "cached_delay_stats",
+    "cached_schedule_table",
+    "default_jobs",
+    "derive_seed",
+    "get_active_cache",
+    "get_sweep_metrics",
+    "run_points",
+    "spawn_seeds",
+    "sweep_context",
+]

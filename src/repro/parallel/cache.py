@@ -1,0 +1,287 @@
+"""Content-addressed cache for multicast schedules and step tables.
+
+The figure sweeps recompute the same deterministic artifacts over and
+over: Figures 11 and 12 share every simulated point, a warm re-run of
+any figure shares all of them, and the fault sweeps rebuild identical
+trees per algorithm.  Every cacheable artifact here is a pure function
+of its inputs, so entries are addressed by a SHA-256 key over the
+canonical JSON of those inputs -- (kind, algorithm, n, source,
+destination set, port model, resolution order, message size, timing
+constants) -- and never invalidated: a new input is a new key, and a
+stale value is impossible by construction.  Change the *semantics* of
+an artifact (what a value means for the same inputs) and you must bump
+:data:`CACHE_SCHEMA`, which namespaces every key.
+
+Two layers:
+
+- an in-process dict (always on while a cache is active);
+- an optional on-disk layer under ``cache_dir`` -- one JSON file per
+  entry at ``<key[:2]>/<key>.json``, written atomically (temp file +
+  ``os.replace``) and created race-safely, so any number of worker
+  processes can share one directory.
+
+Cached values are plain JSON scalars/containers; Python's ``json``
+round-trips ``int`` and ``float`` exactly, which is what makes a warm
+cache bit-identical to a cold one (the regression suite checks this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.paths import ResolutionOrder
+from repro.multicast.ports import PortModel
+from repro.obs.metrics import MetricsRegistry
+from repro.simulator.params import Timings
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ScheduleCache",
+    "activate_cache",
+    "cache_key",
+    "cached_delay_stats",
+    "cached_schedule_table",
+    "get_active_cache",
+]
+
+#: Bump when the *meaning* of a cached value changes for the same key
+#: inputs; old entries then become unreachable rather than wrong.
+CACHE_SCHEMA = 1
+
+
+def cache_key(kind: str, **fields: object) -> str:
+    """SHA-256 hex key over the canonical JSON of ``fields``.
+
+    ``fields`` must be JSON-serializable; key order does not matter
+    (the encoding sorts them).
+    """
+    payload = {"schema": CACHE_SCHEMA, "kind": kind, **fields}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ScheduleCache:
+    """Two-layer (memory + optional disk) content-addressed cache."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        #: registry receiving ``sim.parallel.cache_*`` metrics; swappable
+        #: so workers can attribute per-chunk deltas to fresh registries.
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.puts = 0
+        self._memory: dict[str, object] = {}
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- metric helpers ------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"sim.parallel.{name}").inc()
+
+    # -- layers --------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> object | None:
+        """The cached value, or ``None`` on a miss.
+
+        (``None`` is never a cached value; every artifact here is a
+        non-empty dict.)
+        """
+        value = self._memory.get(key)
+        if value is not None:
+            self.hits += 1
+            self._count("cache_hits")
+            return value
+        if self.cache_dir is not None:
+            path = self._disk_path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    value = json.load(f)
+            except (OSError, ValueError):
+                value = None  # absent or corrupt: recompute
+            if value is not None:
+                self._memory[key] = value
+                self.hits += 1
+                self.disk_hits += 1
+                self._count("cache_hits")
+                self._count("cache_disk_hits")
+                return value
+        self.misses += 1
+        self._count("cache_misses")
+        return None
+
+    def put(self, key: str, value: object) -> None:
+        """Store a JSON-safe value under ``key`` (memory, then disk)."""
+        self._memory[key] = value
+        self.puts += 1
+        self._count("cache_puts")
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: concurrent writers of the same key race
+        # harmlessly -- both write identical bytes
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(value, f, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            self._count("cache_disk_errors")
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+        }
+
+
+# -- the active cache -------------------------------------------------
+#
+# Process-global, installed by the sweep engine (parent: for the
+# context's duration; workers: at pool initialization).  With no active
+# cache the helpers below compute directly, so un-sweep callers see
+# exactly the pre-cache behavior.
+
+_active: ScheduleCache | None = None
+
+
+def activate_cache(cache: ScheduleCache | None) -> ScheduleCache | None:
+    """Install (or with ``None`` clear) the process-wide cache; returns
+    the previous one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = cache
+    return previous
+
+
+def get_active_cache() -> ScheduleCache | None:
+    return _active
+
+
+# -- cached artifacts --------------------------------------------------
+
+
+def _dest_key(destinations: Iterable[int]) -> list[int]:
+    return sorted(int(d) for d in destinations)
+
+
+def cached_schedule_table(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Iterable[int],
+    ports: PortModel,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> dict:
+    """Step table for one multicast: ``{"max_step", "dest_steps"}``.
+
+    ``dest_steps`` maps destination address (as a string, for JSON) to
+    the step in which it receives the message.  Computed via the
+    registry algorithm on a miss; served from the active cache on a
+    hit.
+    """
+    dests = _dest_key(destinations)
+    key = cache_key(
+        "schedule",
+        algorithm=algorithm,
+        n=n,
+        source=source,
+        dests=dests,
+        ports=[ports.ports, ports.name],
+        order=order.name,
+    )
+    cache = get_active_cache()
+    if cache is not None:
+        value = cache.get(key)
+        if value is not None:
+            return value  # type: ignore[return-value]
+    from repro.multicast.registry import get_algorithm
+
+    sched = get_algorithm(algorithm).schedule(n, source, dests, ports, order)
+    value = {
+        "max_step": sched.max_step,
+        "dest_steps": {str(dst): step for dst, step in sorted(sched.dest_steps.items())},
+    }
+    if cache is not None:
+        cache.put(key, value)
+    return value
+
+
+def cached_delay_stats(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Iterable[int],
+    size: int,
+    timings: Timings,
+    ports: PortModel,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> dict:
+    """Simulated delay summary for one multicast:
+    ``{"avg_delay_us", "max_delay_us", "total_blocked_us"}``.
+
+    The full wormhole simulation runs on a miss; the summary triple is
+    what every delay experiment consumes, so that is what is cached.
+    """
+    dests = _dest_key(destinations)
+    key = cache_key(
+        "delay",
+        algorithm=algorithm,
+        n=n,
+        source=source,
+        dests=dests,
+        size=size,
+        timings={
+            "t_setup": timings.t_setup,
+            "t_recv": timings.t_recv,
+            "t_byte": timings.t_byte,
+            "t_hop": timings.t_hop,
+        },
+        ports=[ports.ports, ports.name],
+        order=order.name,
+    )
+    cache = get_active_cache()
+    if cache is not None:
+        value = cache.get(key)
+        if value is not None:
+            return value  # type: ignore[return-value]
+    from repro.multicast.registry import get_algorithm
+    from repro.simulator.run import simulate_multicast
+
+    tree = get_algorithm(algorithm).build_tree(n, source, dests, order)
+    res = simulate_multicast(tree, size=size, timings=timings, ports=ports, label=algorithm)
+    value = {
+        "avg_delay_us": res.avg_delay,
+        "max_delay_us": res.max_delay,
+        "total_blocked_us": res.total_blocked_time,
+    }
+    if cache is not None:
+        cache.put(key, value)
+    return value

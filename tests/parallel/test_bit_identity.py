@@ -1,0 +1,71 @@
+"""Bit-identity regression: parallel and cached sweeps change nothing.
+
+``run_experiment(..., jobs=4)`` must produce byte-identical tables to
+the serial path for the fig09 (stepwise) and fig11 (simulated delay)
+fast sweeps -- cache cold and cache warm -- because per-point seeds
+live in the point specs and every cached value round-trips JSON
+exactly.  This is the contract that lets the parallel engine replace
+the serial evaluation everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_experiment, run_sweep
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def serial_tables():
+    return {
+        "fig9": run_experiment("fig9", fast=True),
+        "fig11": run_experiment("fig11", fast=True),
+    }
+
+
+@pytest.mark.parametrize("fig", ["fig9", "fig11"])
+def test_jobs4_cold_and_warm_cache_byte_identical(fig, serial_tables, tmp_path):
+    serial = serial_tables[fig]
+    cache_dir = tmp_path / "cache"
+
+    cold = run_experiment(fig, fast=True, jobs=4, cache_dir=cache_dir)
+    assert cold.to_json() == serial.to_json()
+    assert cold.render() == serial.render()
+
+    warm_metrics = MetricsRegistry()
+    warm = run_sweep(
+        [fig], fast=True, jobs=4, cache_dir=cache_dir, metrics=warm_metrics
+    )[fig]
+    assert warm.to_json() == serial.to_json()
+    assert warm.render() == serial.render()
+    snap = warm_metrics.snapshot()
+    assert snap["sim.parallel.cache_hits"]["value"] > 0
+    assert snap["sim.parallel.worker_failures"]["value"] == 0
+
+
+def test_serial_with_cache_byte_identical(serial_tables, tmp_path):
+    """jobs=1 + cache is the same table too (cache layer alone)."""
+    cached = run_experiment("fig9", fast=True, jobs=1, cache_dir=tmp_path / "c")
+    assert cached.to_json() == serial_tables["fig9"].to_json()
+
+
+def test_fig11_fig12_share_cached_points(tmp_path):
+    """Figures 11 and 12 are two views of one sweep: under a shared
+    context fig12 re-simulates nothing."""
+    registry = MetricsRegistry()
+    tables = run_sweep(
+        ["fig11", "fig12"],
+        fast=True,
+        jobs=2,
+        cache_dir=tmp_path / "c",
+        metrics=registry,
+    )
+    assert tables["fig11"].to_json() == run_experiment("fig11", fast=True).to_json()
+    assert tables["fig12"].to_json() == run_experiment("fig12", fast=True).to_json()
+    snap = registry.snapshot()
+    # fig12's simulated points (10 x-values x 20 sets x 4 algorithms)
+    # are all hits against fig11's entries
+    assert snap["sim.parallel.cache_hits"]["value"] >= 800

@@ -1,0 +1,142 @@
+"""The content-addressed schedule/delay cache: layers, keys, artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.multicast.ports import ALL_PORT, ONE_PORT
+from repro.multicast.registry import get_algorithm
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.cache import (
+    ScheduleCache,
+    activate_cache,
+    cache_key,
+    cached_delay_stats,
+    cached_schedule_table,
+)
+from repro.simulator.params import NCUBE2
+from repro.simulator.run import simulate_multicast
+
+FIG8 = (4, 0, [1, 3, 5, 7, 11, 12, 14, 15])
+
+
+@pytest.fixture
+def active_cache(tmp_path):
+    """A disk-backed cache installed as the process-wide active cache."""
+    cache = ScheduleCache(tmp_path / "cache", metrics=MetricsRegistry())
+    previous = activate_cache(cache)
+    try:
+        yield cache
+    finally:
+        activate_cache(previous)
+
+
+class TestCacheKey:
+    def test_field_order_irrelevant(self):
+        assert cache_key("k", a=1, b=2) == cache_key("k", b=2, a=1)
+
+    def test_kind_and_fields_distinguish(self):
+        assert cache_key("schedule", n=4) != cache_key("delay", n=4)
+        assert cache_key("schedule", n=4) != cache_key("schedule", n=5)
+
+
+class TestLayers:
+    def test_memory_roundtrip_and_stats(self):
+        cache = ScheduleCache()
+        key = cache_key("t", x=1)
+        assert cache.get(key) is None
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "disk_hits": 0, "puts": 1,
+        }
+
+    def test_disk_shared_between_instances(self, tmp_path):
+        writer = ScheduleCache(tmp_path)
+        key = cache_key("t", x=1)
+        writer.put(key, {"v": [1, 2.5]})
+        reader = ScheduleCache(tmp_path)  # fresh memory layer, same dir
+        assert reader.get(key) == {"v": [1, 2.5]}
+        assert reader.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ScheduleCache(tmp_path)
+        key = cache_key("t", x=1)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert ScheduleCache(tmp_path).get(key) is None
+
+    def test_values_survive_json_exactly(self, tmp_path):
+        value = {"f": 8030.400000000001, "i": 1 << 40}
+        cache = ScheduleCache(tmp_path)
+        key = cache_key("t", x=2)
+        cache.put(key, value)
+        assert ScheduleCache(tmp_path).get(key) == value
+
+    def test_metrics_counters(self):
+        registry = MetricsRegistry()
+        cache = ScheduleCache(metrics=registry)
+        key = cache_key("t", x=3)
+        cache.get(key)
+        cache.put(key, {"v": 1})
+        cache.get(key)
+        snap = registry.snapshot()
+        assert snap["sim.parallel.cache_misses"]["value"] == 1
+        assert snap["sim.parallel.cache_puts"]["value"] == 1
+        assert snap["sim.parallel.cache_hits"]["value"] == 1
+
+
+class TestCachedArtifacts:
+    def test_schedule_table_matches_direct_computation(self, active_cache):
+        n, source, dests = FIG8
+        for ports in (ALL_PORT, ONE_PORT):
+            for name in ("ucube", "wsort"):
+                sched = get_algorithm(name).schedule(n, source, dests, ports)
+                table = cached_schedule_table(name, n, source, dests, ports)
+                assert table["max_step"] == sched.max_step
+                assert table["dest_steps"] == {
+                    str(d): s for d, s in sched.dest_steps.items()
+                }
+
+    def test_schedule_table_hit_on_second_call(self, active_cache):
+        n, source, dests = FIG8
+        cached_schedule_table("wsort", n, source, dests, ALL_PORT)
+        misses = active_cache.misses
+        again = cached_schedule_table("wsort", n, source, dests, ALL_PORT)
+        assert active_cache.misses == misses  # no recompute
+        assert again["max_step"] == 2  # Fig. 8(c)
+
+    def test_destination_order_is_canonicalized(self, active_cache):
+        n, source, dests = FIG8
+        cached_schedule_table("wsort", n, source, dests, ALL_PORT)
+        hits = active_cache.hits
+        cached_schedule_table("wsort", n, source, list(reversed(dests)), ALL_PORT)
+        assert active_cache.hits == hits + 1
+
+    def test_delay_stats_match_simulator(self, active_cache):
+        n, source, dests = FIG8
+        tree = get_algorithm("wsort").build_tree(n, source, dests)
+        res = simulate_multicast(tree, 4096, NCUBE2, ALL_PORT)
+        stats = cached_delay_stats("wsort", n, source, dests, 4096, NCUBE2, ALL_PORT)
+        assert stats["avg_delay_us"] == res.avg_delay
+        assert stats["max_delay_us"] == res.max_delay
+        assert stats["total_blocked_us"] == res.total_blocked_time
+        # warm call is served from memory
+        misses = active_cache.misses
+        assert cached_delay_stats("wsort", n, source, dests, 4096, NCUBE2, ALL_PORT) == stats
+        assert active_cache.misses == misses
+
+    def test_no_active_cache_computes_directly(self):
+        n, source, dests = FIG8
+        table = cached_schedule_table("wsort", n, source, dests, ALL_PORT)
+        assert table["max_step"] == 2
+
+    def test_disk_entries_are_valid_json_files(self, active_cache):
+        n, source, dests = FIG8
+        cached_schedule_table("ucube", n, source, dests, ALL_PORT)
+        files = list(active_cache.cache_dir.rglob("*.json"))
+        assert len(files) == 1
+        assert "max_step" in json.loads(files[0].read_text())

@@ -1,0 +1,128 @@
+"""Seeded property-based correctness suite for the paper algorithms.
+
+Random destination sets on 3--6 cubes, swept across U-cube / Maxport /
+Combine / W-sort.  Every sample asserts the paper's correctness
+contract end to end:
+
+- **coverage** -- every destination receives the message exactly once
+  and no other CPU handles it (:func:`verify_multicast` structural
+  checks);
+- **contention-freedom** -- the greedy all-port schedule satisfies
+  Definition 4 (the independent verifier, not the scheduler's own
+  bookkeeping);
+- **step bounds** -- per-sample step counts sit inside the proven
+  envelope: at least the all-port information-theoretic floor
+  ``(n+1)^steps >= m+1``, at most ``n`` (broadcast height), never worse
+  than the same algorithm's one-port schedule, with the one-port U-cube
+  count exactly the tight ``ceil(log2(m+1))`` staircase of Section 2
+  (which also bounds U-cube/Combine/W-sort all-port schedules; Maxport
+  may exceed it on adversarial sets, so it is held to the sound bounds
+  only).
+
+The sampling is *seeded*, not timestamp-driven: every sample's seed
+derives from :func:`repro.parallel.derive_seed` over (cube size, trial
+index), so a failure reproduces from the printed parameters alone.  A
+hypothesis layer on top explores shrunk/adversarial corners with the
+same assertions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+
+from repro.multicast.ports import ALL_PORT, ONE_PORT
+from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
+from repro.multicast.ucube import ucube_optimal_steps
+from repro.multicast.verify import verify_multicast
+from repro.parallel import derive_seed
+from repro.analysis.workloads import random_destination_sets
+from tests.conftest import multicast_cases
+
+#: Algorithms whose all-port schedules are bounded by the one-port
+#: optimum ceil(log2(m+1)) (U-cube by Section 2; Combine and W-sort by
+#: chain halving).  Maxport is excluded: its greedy dimension choice
+#: can exceed the staircase on individual sets.
+LOG_BOUNDED = ("ucube", "combine", "wsort")
+
+CUBES = (3, 4, 5, 6)
+TRIALS_PER_CUBE = 12
+BASE_SEED = 1993
+
+
+def _sample(n: int, trial: int) -> tuple[int, list[int]]:
+    """Deterministic (source, destinations) for one property sample."""
+    seed = derive_seed(BASE_SEED, "proptest", n, trial)
+    rnd = random.Random(seed)
+    m = rnd.randint(1, (1 << n) - 1)
+    source = rnd.randrange(1 << n)
+    dests = random_destination_sets(n, m, 1, seed=seed, source=source)[0]
+    return source, dests
+
+
+def _assert_sample_properties(n: int, source: int, dests: list[int]) -> None:
+    """The full correctness contract for one (n, source, dests) sample."""
+    m = len(dests)
+    staircase = ucube_optimal_steps(m)
+    assert staircase == math.ceil(math.log2(m + 1))
+    for name in PAPER_ALGORITHMS:
+        alg = get_algorithm(name)
+        result = verify_multicast(alg, n, source, dests, ALL_PORT)
+        result.raise_if_failed()  # coverage + Definition 4 contention
+        steps = result.schedule.max_step
+        one_port = alg.schedule(n, source, dests, ONE_PORT).max_step
+        context = f"{name} n={n} source={source} m={m}"
+        # all-port floor: informed nodes grow at most (n+1)-fold per step
+        assert (n + 1) ** steps >= m + 1, context
+        # broadcast height is the ceiling for any destination set
+        assert 1 <= steps <= n, context
+        # extra ports never hurt the greedy schedule
+        assert steps <= one_port, context
+        if name == "ucube":
+            assert one_port == staircase, context
+        if name in LOG_BOUNDED:
+            assert steps <= staircase, context
+
+
+@pytest.mark.parametrize("n", CUBES)
+@pytest.mark.parametrize("trial", range(TRIALS_PER_CUBE))
+def test_seeded_random_sets_satisfy_paper_contract(n: int, trial: int) -> None:
+    source, dests = _sample(n, trial)
+    _assert_sample_properties(n, source, dests)
+
+
+@given(case=multicast_cases(min_n=3, max_n=6))
+def test_hypothesis_cases_satisfy_paper_contract(case) -> None:
+    n, source, dests = case
+    if not dests:
+        pytest.skip("empty destination set")
+    _assert_sample_properties(n, source, dests)
+
+
+def test_samples_are_reproducible() -> None:
+    """The derived-seed scheme regenerates identical samples."""
+    for n in CUBES:
+        for trial in range(3):
+            assert _sample(n, trial) == _sample(n, trial)
+
+
+def test_broadcast_extremes() -> None:
+    """m = 2^n - 1 (full broadcast) sits exactly on the proven bounds."""
+    for n in CUBES:
+        dests = [u for u in range(1 << n) if u != 0]
+        for name in PAPER_ALGORITHMS:
+            alg = get_algorithm(name)
+            verify_multicast(alg, n, 0, dests, ALL_PORT).raise_if_failed()
+            assert alg.schedule(n, 0, dests, ALL_PORT).max_step <= n
+        assert get_algorithm("ucube").schedule(n, 0, dests, ONE_PORT).max_step == n
+
+
+def test_singleton_sets_take_one_step() -> None:
+    """m = 1: a single unicast, one step, for every algorithm."""
+    for n in CUBES:
+        for name in PAPER_ALGORITHMS:
+            sched = get_algorithm(name).schedule(n, 0, [(1 << n) - 1], ALL_PORT)
+            assert sched.max_step == 1

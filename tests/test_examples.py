@@ -58,7 +58,14 @@ def test_collective_survey(capsys):
 def test_optimal_broadcast(capsys):
     out = run_example("optimal_broadcast.py", capsys)
     assert "nESBT" in out
-    assert "binomial" in out
+
+
+@pytest.mark.slow
+def test_parallel_sweep(capsys):
+    out = run_example("parallel_sweep.py", capsys)
+    assert "bit-identity: serial == parallel cold == parallel warm  OK" in out
+    assert "cache hits" in out
+    assert "wsort" in out  # the rendered fig11 table
 
 
 def test_mesh_multicast(capsys):
