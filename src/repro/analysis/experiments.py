@@ -28,11 +28,20 @@ from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
 from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
 from repro.obs.metrics import MetricsRegistry
+from repro.parallel.cache import CACHE_SCHEMA
 from repro.parallel.engine import run_points, sweep_context
+from repro.parallel.journal import SweepJournal, derive_run_id
+from repro.parallel.resilience import WatchdogConfig
 from repro.simulator.params import NCUBE2
 from repro.simulator.run import simulate_multicast
 
-__all__ = ["EXPERIMENTS", "Experiment", "run_experiment", "run_sweep"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "run_sweep",
+    "sweep_run_id",
+]
 
 
 def default_fast() -> bool:
@@ -584,6 +593,20 @@ def run_experiment(
         return _run_one(exp_id, fast)
 
 
+def sweep_run_id(exp_ids: Sequence[str], fast: bool | None = None) -> str:
+    """The content-addressed run id of a sweep definition.
+
+    Derived from the experiment ids (in order), the resolved fast/full
+    mode, and the cache schema -- the same inputs that determine every
+    point of the sweep -- so ``repro-hypercube sweep --resume`` can find
+    the journal of a crashed run by re-deriving its id from the same
+    command line.
+    """
+    if fast is None:
+        fast = default_fast()
+    return derive_run_id(list(exp_ids), bool(fast), CACHE_SCHEMA)
+
+
 def run_sweep(
     exp_ids: Sequence[str],
     fast: bool | None = None,
@@ -591,6 +614,9 @@ def run_sweep(
     jobs: int | None = None,
     cache_dir: str | None = None,
     metrics: MetricsRegistry | None = None,
+    journal_dir: str | None = None,
+    resume: bool = False,
+    watchdog: WatchdogConfig | None = None,
 ) -> dict[str, Table]:
     """Run several experiments under one shared sweep context.
 
@@ -599,16 +625,45 @@ def run_sweep(
     fault figures) compute each point once.  Returns ``{id: Table}``
     in the requested order; ``metrics`` (optional) receives the
     ``sim.parallel.*`` engine counters.
+
+    With ``journal_dir`` set, every completed point is checkpointed to
+    ``<journal_dir>/<run_id>.jsonl`` (see
+    :mod:`repro.parallel.journal`); ``resume=True`` additionally loads
+    an existing journal first, so points already computed by a crashed
+    or interrupted run of the *same* sweep are served from it,
+    bit-identically.  ``watchdog`` enables hung-worker detection and
+    requeueing (see :mod:`repro.parallel.resilience`).
     """
     ids = list(exp_ids)
     unknown = [exp_id for exp_id in ids if exp_id not in EXPERIMENTS]
     if unknown:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment(s) {unknown}; known: {known}")
-    with sweep_context(
-        jobs=1 if jobs is None else jobs, cache_dir=cache_dir, metrics=metrics
-    ):
-        return {exp_id: _run_one(exp_id, fast) for exp_id in ids}
+    if resume and journal_dir is None:
+        raise ValueError("resume=True requires journal_dir")
+    if fast is None:
+        fast = default_fast()
+    journal = None
+    if journal_dir is not None:
+        run_id = sweep_run_id(ids, fast)
+        journal = SweepJournal(
+            os.path.join(journal_dir, f"{run_id}.jsonl"),
+            run_id=run_id,
+            meta={"ids": ids, "fast": bool(fast)},
+            resume=resume,
+        )
+    try:
+        with sweep_context(
+            jobs=1 if jobs is None else jobs,
+            cache_dir=cache_dir,
+            metrics=metrics,
+            watchdog=watchdog,
+            journal=journal,
+        ):
+            return {exp_id: _run_one(exp_id, fast) for exp_id in ids}
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def _emit_table_points(

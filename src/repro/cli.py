@@ -13,7 +13,13 @@ Subcommands:
   (fault-aware detour schedules); see docs/FAULTS.md.
 - ``sweep`` -- run several figure reproductions under one parallel
   sweep context: shared process pool, shared schedule cache, merged
-  telemetry; see docs/PERFORMANCE.md.
+  telemetry; see docs/PERFORMANCE.md.  ``--journal-dir`` checkpoints
+  every completed point; ``--resume`` picks a crashed or interrupted
+  run back up bit-identically; ``--watchdog`` arms hung-worker
+  detection (see docs/RESILIENCE.md).
+- ``cache`` -- ``verify`` (audit a schedule-cache directory for
+  corrupt/stale entries, optionally ``--repair``-quarantining them)
+  and ``gc`` (drop quarantined entries and stray temp files).
 
 ``experiment``, ``collective``, ``stats``, ``faults``, and ``sweep``
 accept ``--telemetry PATH`` to export structured
@@ -23,6 +29,10 @@ docs/OBSERVABILITY.md).  ``experiment`` and ``sweep`` accept
 ``--parallel`` / ``--jobs N`` / ``--cache-dir PATH`` to fan points
 across worker processes with content-addressed schedule caching;
 results are bit-identical to serial runs.
+
+Every subcommand exits nonzero on failure: ``1`` for a runtime error
+(the message goes to stderr), ``2`` for bad arguments, ``130`` on
+Ctrl-C.  ``report`` exits ``1`` when any figure check FAILs.
 """
 
 from __future__ import annotations
@@ -31,7 +41,12 @@ import argparse
 import sys
 from typing import Callable, Sequence
 
-from repro.analysis.experiments import EXPERIMENTS, run_experiment, run_sweep
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    run_sweep,
+    sweep_run_id,
+)
 from repro.collectives.api import HypercubeCollectives
 from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import ALL_PORT, ONE_PORT, k_port
@@ -157,6 +172,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_watchdog(args: argparse.Namespace):
+    """``--watchdog`` / explicit timeouts -> a WatchdogConfig or None."""
+    soft = getattr(args, "soft_timeout_s", None)
+    hard = getattr(args, "hard_timeout_s", None)
+    if not getattr(args, "watchdog", False) and soft is None and hard is None:
+        return None
+    from repro.parallel.resilience import WatchdogConfig
+
+    base = WatchdogConfig.from_env()
+    resolved_soft = soft if soft is not None else base.soft_timeout_s
+    resolved_hard = hard if hard is not None else base.hard_timeout_s
+    return WatchdogConfig(
+        soft_timeout_s=resolved_soft,
+        hard_timeout_s=max(resolved_hard, resolved_soft),
+        retry=base.retry,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.obs.metrics import MetricsRegistry
 
@@ -165,6 +198,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    resume = args.resume is not None
+    if resume and args.journal_dir is None:
+        print("--resume requires --journal-dir", file=sys.stderr)
+        return 2
+    run_id = sweep_run_id(ids, fast=not args.full) if args.journal_dir else None
+    if resume and args.resume != "auto" and args.resume != run_id:
+        print(
+            f"--resume {args.resume} does not match this sweep (its run id is "
+            f"{run_id}); re-issue the command line of the run being resumed",
+            file=sys.stderr,
+        )
         return 2
     jobs = _resolve_jobs(args)
     registry = MetricsRegistry()
@@ -176,6 +221,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=jobs,
             cache_dir=args.cache_dir,
             metrics=registry,
+            journal_dir=args.journal_dir,
+            resume=resume,
+            watchdog=_resolve_watchdog(args),
         ),
     )
     if args.json:
@@ -195,6 +243,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # with --json stdout is the document alone; the digest goes to stderr
     out = sys.stderr if args.json else sys.stdout
     _print_parallel_summary(registry, file=out)
+    if args.journal_dir:
+        snap = registry.snapshot()
+        hits = snap.get("sim.resilience.journal_hits", {}).get("value", 0)
+        print(
+            f"journal: {args.journal_dir}/{run_id}.jsonl "
+            f"(run {run_id}, {hits:g} point(s) served from journal)",
+            file=out,
+        )
     if args.telemetry:
         print(f"telemetry written to {args.telemetry}", file=out)
     return 0
@@ -204,7 +260,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import markdown_report
 
     figures = args.figures.split(",") if args.figures else None
-    print(markdown_report(fast=not args.full, figures=figures))
+    doc = markdown_report(fast=not args.full, figures=figures)
+    print(doc)
+    if "| FAIL |" in doc:
+        print("report: one or more figure checks FAILed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import verify_cache_dir
+
+    try:
+        audit = verify_cache_dir(args.cache_dir, repair=args.repair)
+    except FileNotFoundError:
+        print(f"no such cache directory: {args.cache_dir}", file=sys.stderr)
+        return 2
+    print(f"cache {args.cache_dir}: {audit.ok} intact entr(ies)")
+    for damage, names in sorted(audit.damaged.items()):
+        action = "quarantined" if args.repair else "found"
+        print(f"  {damage}: {len(names)} {action}")
+        for name in names[:10]:
+            print(f"    {name}")
+        if len(names) > 10:
+            print(f"    ... and {len(names) - 10} more")
+    if audit.quarantined_pending:
+        print(f"  {audit.quarantined_pending} previously quarantined entr(ies) pending gc")
+    if audit.stray_tmp:
+        print(f"  {audit.stray_tmp} stray temp file(s) pending gc")
+    if audit.clean:
+        print("  no damage")
+        return 0
+    if args.repair:
+        print("damaged entries quarantined; they will recompute on next use")
+        return 0
+    print("run 'cache verify --repair' to quarantine, then 'cache gc' to reclaim")
+    return 1
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import gc_cache_dir
+
+    try:
+        removed = gc_cache_dir(args.cache_dir)
+    except FileNotFoundError:
+        print(f"no such cache directory: {args.cache_dir}", file=sys.stderr)
+        return 2
+    print(
+        f"cache {args.cache_dir}: removed {removed['quarantined']} quarantined, "
+        f"{removed['tmp']} temp file(s), {removed['empty_dirs']} empty dir(s)"
+    )
     return 0
 
 
@@ -498,7 +603,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="PATH",
         help="export merged RunRecord JSON lines (workers included) to PATH",
     )
+    p_sweep.add_argument(
+        "--journal-dir", default=None, metavar="PATH",
+        help="checkpoint every completed point to PATH/<run-id>.jsonl",
+    )
+    p_sweep.add_argument(
+        "--resume", nargs="?", const="auto", default=None, metavar="RUN_ID",
+        help="resume a crashed/interrupted run from its journal "
+             "(requires --journal-dir; RUN_ID optional, derived from the command)",
+    )
+    p_sweep.add_argument(
+        "--watchdog", action="store_true",
+        help="arm the hung-worker watchdog (REPRO_WATCHDOG_* tune the timeouts)",
+    )
+    p_sweep.add_argument(
+        "--soft-timeout-s", type=float, default=None, metavar="S",
+        help="watchdog soft per-point timeout (implies --watchdog)",
+    )
+    p_sweep.add_argument(
+        "--hard-timeout-s", type=float, default=None, metavar="S",
+        help="watchdog hard per-point timeout: kill + requeue (implies --watchdog)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and maintain a schedule-cache directory"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cv = cache_sub.add_parser(
+        "verify", help="audit every entry's checksum, schema, and key"
+    )
+    p_cv.add_argument("cache_dir", metavar="PATH")
+    p_cv.add_argument(
+        "--repair", action="store_true",
+        help="quarantine damaged entries (they recompute on next use)",
+    )
+    p_cv.set_defaults(func=_cmd_cache_verify)
+    p_cg = cache_sub.add_parser(
+        "gc", help="remove quarantined entries, stray temp files, empty dirs"
+    )
+    p_cg.add_argument("cache_dir", metavar="PATH")
+    p_cg.set_defaults(func=_cmd_cache_gc)
 
     p_rep = sub.add_parser("report", help="paper-vs-measured markdown report")
     p_rep.add_argument("--full", action="store_true", help="paper-parity parameters")
@@ -588,7 +733,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # a failed experiment/sweep must fail the invoking script, not
+        # dump a traceback and exit 0 or crash with 1-of-N noise
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -57,7 +57,8 @@ class RunRecord:
     Attributes:
         run_id: unique identifier (see :func:`new_run_id`).
         kind: what ran -- ``"multicast"``, ``"concurrent"``, ``"comm"``,
-            or ``"experiment-point"``.
+            ``"experiment-point"``, ``"degraded-multicast"``, or
+            ``"resilience-event"``.
         n: hypercube dimension.
         algorithm: multicast algorithm / operation label, if known.
         ports: port-model name (``"all-port"`` etc.), if known.

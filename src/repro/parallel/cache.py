@@ -20,6 +20,16 @@ Two layers:
   ``os.replace``) and created race-safely, so any number of worker
   processes can share one directory.
 
+Every disk entry is a self-verifying envelope -- ``{"schema", "key",
+"checksum", "value"}`` with a SHA-256 checksum over the canonical JSON
+of the value -- and every disk read validates it.  A corrupt,
+truncated, stale-schema, or mis-keyed entry is **quarantined** (moved
+into ``<cache_dir>/_quarantine/``), counted in
+``sim.resilience.cache_quarantined``, and treated as a miss, so the
+value recomputes and the bad bytes never poison a sweep.
+``repro-hypercube cache verify|gc`` audits and cleans a shared
+directory offline (see docs/RESILIENCE.md).
+
 Cached values are plain JSON scalars/containers; Python's ``json``
 round-trips ``int`` and ``float`` exactly, which is what makes a warm
 cache bit-identical to a cold one (the regression suite checks this).
@@ -31,6 +41,7 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
@@ -41,13 +52,21 @@ from repro.simulator.params import Timings
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CacheAudit",
+    "QUARANTINE_DIR",
     "ScheduleCache",
     "activate_cache",
     "cache_key",
     "cached_delay_stats",
     "cached_schedule_table",
+    "gc_cache_dir",
     "get_active_cache",
+    "verify_cache_dir",
 ]
+
+#: Subdirectory of a cache dir holding quarantined (corrupt/stale)
+#: entries until ``cache gc`` removes them.
+QUARANTINE_DIR = "_quarantine"
 
 #: Bump when the *meaning* of a cached value changes for the same key
 #: inputs; old entries then become unreachable rather than wrong.
@@ -63,6 +82,49 @@ def cache_key(kind: str, **fields: object) -> str:
     payload = {"schema": CACHE_SCHEMA, "kind": kind, **fields}
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _value_checksum(value: object) -> str:
+    """SHA-256 (truncated) over the canonical JSON of a cached value."""
+    text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def _encode_entry(key: str, value: object) -> str:
+    """The self-verifying on-disk envelope for one entry."""
+    return json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "checksum": _value_checksum(value),
+            "value": value,
+        },
+        separators=(",", ":"),
+    )
+
+
+def _decode_entry(key: str, text: str) -> tuple[object, str | None]:
+    """``(value, None)`` for an intact entry, else ``(None, reason)``.
+
+    Reasons: ``"corrupt"`` (unparseable / not an envelope / checksum
+    mismatch), ``"stale-schema"`` (written under another
+    :data:`CACHE_SCHEMA`), ``"key-mismatch"`` (entry filed under the
+    wrong name -- a tampered or mis-copied file).
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return None, "corrupt"
+    if not isinstance(payload, dict) or "value" not in payload or "checksum" not in payload:
+        return None, "corrupt"
+    if payload.get("schema") != CACHE_SCHEMA:
+        return None, "stale-schema"
+    if payload.get("key") != key:
+        return None, "key-mismatch"
+    value = payload["value"]
+    if _value_checksum(value) != payload["checksum"]:
+        return None, "corrupt"
+    return value, None
 
 
 class ScheduleCache:
@@ -81,6 +143,7 @@ class ScheduleCache:
         self.misses = 0
         self.disk_hits = 0
         self.puts = 0
+        self.quarantined = 0
         self._memory: dict[str, object] = {}
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -91,17 +154,42 @@ class ScheduleCache:
         if self.metrics is not None:
             self.metrics.counter(f"sim.parallel.{name}").inc()
 
+    def _count_full(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
     # -- layers --------------------------------------------------------
 
     def _disk_path(self, key: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a damaged entry out of the addressable namespace.
+
+        Never raises: quarantine is best-effort damage containment on
+        the read path (the entry is already a miss either way).
+        """
+        assert self.cache_dir is not None
+        self.quarantined += 1
+        self._count_full("sim.resilience.cache_quarantined")
+        target_dir = self.cache_dir / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{reason}-{path.name}")
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def get(self, key: str) -> object | None:
         """The cached value, or ``None`` on a miss.
 
         (``None`` is never a cached value; every artifact here is a
-        non-empty dict.)
+        non-empty dict.)  A disk entry that fails validation -- corrupt
+        bytes, a truncated write, a stale schema, a key mismatch -- is
+        quarantined and reported as a miss so the value recomputes.
         """
         value = self._memory.get(key)
         if value is not None:
@@ -112,9 +200,14 @@ class ScheduleCache:
             path = self._disk_path(key)
             try:
                 with open(path, "r", encoding="utf-8") as f:
-                    value = json.load(f)
-            except (OSError, ValueError):
-                value = None  # absent or corrupt: recompute
+                    text = f.read()
+            except OSError:
+                text = None  # absent: plain miss
+            if text is not None:
+                value, damage = _decode_entry(key, text)
+                if damage is not None:
+                    self._quarantine(path, damage)
+                    value = None
             if value is not None:
                 self._memory[key] = value
                 self.hits += 1
@@ -140,7 +233,7 @@ class ScheduleCache:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(value, f, separators=(",", ":"))
+                f.write(_encode_entry(key, value))
             os.replace(tmp, path)
         except OSError:
             self._count("cache_disk_errors")
@@ -159,7 +252,121 @@ class ScheduleCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "puts": self.puts,
+            "quarantined": self.quarantined,
         }
+
+
+# -- offline integrity audit ------------------------------------------
+
+
+@dataclass(slots=True)
+class CacheAudit:
+    """Result of :func:`verify_cache_dir`."""
+
+    ok: int = 0
+    #: relative paths of entries that failed validation, by reason
+    damaged: dict[str, list[str]] = field(default_factory=dict)
+    #: entries moved to quarantine (only when ``repair=True``)
+    repaired: int = 0
+    #: files already sitting in the quarantine subdirectory
+    quarantined_pending: int = 0
+    #: orphaned atomic-write temp files
+    stray_tmp: int = 0
+
+    @property
+    def damaged_total(self) -> int:
+        return sum(len(paths) for paths in self.damaged.values())
+
+    @property
+    def clean(self) -> bool:
+        return self.damaged_total == 0
+
+
+def _entry_files(cache_dir: Path):
+    for path in sorted(cache_dir.rglob("*.json")):
+        if QUARANTINE_DIR in path.parts:
+            continue
+        yield path
+
+
+def verify_cache_dir(cache_dir: str | os.PathLike, repair: bool = False) -> CacheAudit:
+    """Validate every entry of a shared cache directory.
+
+    Each file is decoded exactly as the read path would decode it; with
+    ``repair=True`` damaged entries are moved into the quarantine
+    subdirectory (the same containment the read path applies lazily).
+
+    Raises:
+        FileNotFoundError: when ``cache_dir`` does not exist.
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"cache directory {root} does not exist")
+    audit = CacheAudit()
+    quarantine = root / QUARANTINE_DIR
+    audit.quarantined_pending = sum(1 for p in quarantine.glob("*") if p.is_file())
+    audit.stray_tmp = sum(1 for p in root.rglob("*.tmp") if QUARANTINE_DIR not in p.parts)
+    for path in _entry_files(root):
+        key = path.stem
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            damage = "unreadable"
+        else:
+            _, damage = _decode_entry(key, text)
+        if damage is None:
+            audit.ok += 1
+            continue
+        audit.damaged.setdefault(damage, []).append(str(path.relative_to(root)))
+        if repair:
+            try:
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, quarantine / f"{damage}-{path.name}")
+                audit.repaired += 1
+            except OSError:
+                pass
+    return audit
+
+
+def gc_cache_dir(cache_dir: str | os.PathLike) -> dict[str, int]:
+    """Sweep the garbage a resilient cache accumulates.
+
+    Deletes quarantined entries, orphaned ``*.tmp`` files from
+    interrupted atomic writes, and any empty key subdirectories.
+    Returns removal counts.  Never touches intact entries.
+
+    Raises:
+        FileNotFoundError: when ``cache_dir`` does not exist.
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"cache directory {root} does not exist")
+    removed = {"quarantined": 0, "tmp": 0, "empty_dirs": 0}
+    quarantine = root / QUARANTINE_DIR
+    if quarantine.is_dir():
+        for path in quarantine.glob("*"):
+            try:
+                path.unlink()
+                removed["quarantined"] += 1
+            except OSError:
+                pass
+        try:
+            quarantine.rmdir()
+        except OSError:
+            pass
+    for path in list(root.rglob("*.tmp")):
+        try:
+            path.unlink()
+            removed["tmp"] += 1
+        except OSError:
+            pass
+    for path in sorted((p for p in root.iterdir() if p.is_dir()), reverse=True):
+        try:
+            path.rmdir()
+            removed["empty_dirs"] += 1
+        except OSError:
+            pass  # not empty
+    return removed
 
 
 # -- the active cache -------------------------------------------------

@@ -14,25 +14,42 @@ Guarantees:
   either way; results are reassembled in submission order; per-point
   seeds are part of the spec, never derived from scheduling.  The
   regression suite asserts byte-identical figure tables for
-  ``jobs=4`` vs serial, cache cold and warm.
+  ``jobs=4`` vs serial, cache cold and warm -- and, with a journal,
+  for resumed vs uninterrupted runs.
 - **Graceful degradation.**  A failed worker (crash, pickling error,
   broken pool) only costs its chunk, which is transparently re-run
   in-process; a deterministic point *error* still surfaces exactly as
-  it would serially.
+  it would serially.  With a :class:`~repro.parallel.resilience.WatchdogConfig`
+  active, crashed and *hung* chunks are first requeued to a fresh pool
+  under a capped, exponentially backed-off retry budget; points that
+  keep failing are quarantined to in-process execution, and a
+  repeatedly lost pool degrades the whole remainder to in-process.
+- **Crash recovery.**  With a :class:`~repro.parallel.journal.SweepJournal`
+  active, every completed point is durably checkpointed as it is
+  absorbed, and points already journaled by a previous (crashed or
+  killed) run of the same sweep are served from the journal without
+  recomputation.
 - **Observability.**  Workers buffer their telemetry
   (:class:`~repro.obs.sink.MemorySink`) and metric deltas per chunk and
   the parent merges both -- records into the parent's active sink,
   deltas into the context's registry -- so ``--telemetry`` output and
   ``sim.parallel.*`` metrics look the same no matter where points ran.
+  Watchdog and journal activity is reported under ``sim.resilience.*``
+  and as ``kind="resilience-event"`` telemetry.
 
 Points are dispatched in chunks (default: ~4 chunks per worker) to
-amortize inter-process overhead on sub-millisecond points.
+amortize inter-process overhead on sub-millisecond points.  Workers
+heartbeat (via a shared manager dict) before every point, which is what
+lets the parent distinguish a slow chunk from a hung one.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time as _time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from math import ceil
@@ -44,10 +61,17 @@ from repro.obs.metrics import MetricsRegistry, merge_snapshot
 from repro.obs.sink import MemorySink
 from repro.obs.telemetry import RunRecord
 from repro.parallel.cache import ScheduleCache, activate_cache, get_active_cache
+from repro.parallel.journal import SweepJournal, point_fingerprint
+from repro.parallel.resilience import (
+    PointTracker,
+    WatchdogConfig,
+    emit_resilience_event,
+)
 
 __all__ = [
     "SweepConfig",
     "default_jobs",
+    "get_sweep_journal",
     "get_sweep_metrics",
     "run_points",
     "sweep_context",
@@ -64,6 +88,7 @@ class SweepConfig:
     jobs: int
     cache_dir: str | None = None
     chunk_size: int | None = None
+    watchdog: WatchdogConfig | None = None
 
 
 def default_jobs() -> int:
@@ -76,11 +101,17 @@ def default_jobs() -> int:
 
 _config: SweepConfig | None = None
 _metrics: MetricsRegistry | None = None
+_journal: SweepJournal | None = None
 
 
 def get_sweep_metrics() -> MetricsRegistry | None:
     """The active context's ``sim.parallel.*`` registry, if any."""
     return _metrics
+
+
+def get_sweep_journal() -> SweepJournal | None:
+    """The active context's checkpoint journal, if any."""
+    return _journal
 
 
 @contextmanager
@@ -89,6 +120,8 @@ def sweep_context(
     cache_dir: str | os.PathLike | None = None,
     chunk_size: int | None = None,
     metrics: MetricsRegistry | None = None,
+    watchdog: WatchdogConfig | None = None,
+    journal: SweepJournal | None = None,
 ) -> Iterator[MetricsRegistry]:
     """Activate the sweep engine for the dynamic extent of the block.
 
@@ -102,25 +135,34 @@ def sweep_context(
             worker).
         metrics: registry to record engine/cache metrics into (default:
             a fresh one, yielded for inspection).
+        watchdog: hung-worker detection and retry policy (see
+            :mod:`repro.parallel.resilience`); ``None`` disables
+            timeouts and requeueing (failures fall straight back to
+            in-process execution, the pre-watchdog behavior).
+        journal: checkpoint journal for crash-safe resume (see
+            :mod:`repro.parallel.journal`); the caller owns its
+            lifecycle (open/close).
 
     Contexts nest: the innermost wins, the outer is restored on exit.
     """
-    global _config, _metrics
+    global _config, _metrics, _journal
     resolved_jobs = default_jobs() if not jobs else max(1, int(jobs))
-    prev_config, prev_metrics = _config, _metrics
+    prev_config, prev_metrics, prev_journal = _config, _metrics, _journal
     registry = metrics if metrics is not None else MetricsRegistry()
     _config = SweepConfig(
         jobs=resolved_jobs,
         cache_dir=os.fspath(cache_dir) if cache_dir is not None else None,
         chunk_size=chunk_size,
+        watchdog=watchdog,
     )
     _metrics = registry
+    _journal = journal
     registry.gauge("sim.parallel.jobs").set(resolved_jobs)
     prev_cache = activate_cache(ScheduleCache(cache_dir, metrics=registry))
     try:
         yield registry
     finally:
-        _config, _metrics = prev_config, prev_metrics
+        _config, _metrics, _journal = prev_config, prev_metrics, prev_journal
         activate_cache(prev_cache)
 
 
@@ -134,14 +176,19 @@ def _worker_init(cache_dir: str | None) -> None:
 
 
 def _run_chunk(
-    fn: Callable[[S], R], chunk: Sequence[tuple[int, S]]
+    fn: Callable[[S], R],
+    chunk: Sequence[tuple[int, S]],
+    chunk_id: int | None = None,
+    heartbeats=None,
 ) -> tuple[list[tuple[int, R]], list[dict], dict[str, dict]]:
     """Execute one chunk of (index, spec) pairs inside a worker.
 
     Telemetry is buffered in a :class:`MemorySink` (never written
     directly from the worker -- a dead worker must not leave partial or
     duplicate records) and cache metrics go to a per-chunk registry so
-    the parent can merge exact deltas.
+    the parent can merge exact deltas.  When the parent supplied a
+    ``heartbeats`` mapping (watchdog mode), the worker beats before
+    every point so the parent can tell slow from hung.
     """
     registry = MetricsRegistry()
     cache = get_active_cache()
@@ -150,8 +197,19 @@ def _run_chunk(
         cache.metrics = registry
     buffer = MemorySink()
     prev_sink = _sink_mod.configure(buffer)
+
+    def beat() -> None:
+        if heartbeats is not None:
+            try:
+                heartbeats[chunk_id] = _time.time()
+            except Exception:
+                pass  # manager gone: the parent is tearing us down
+
     try:
-        results = [(index, fn(spec)) for index, spec in chunk]
+        results = []
+        for index, spec in chunk:
+            beat()
+            results.append((index, fn(spec)))
     finally:
         _sink_mod.configure(prev_sink)
         if cache is not None:
@@ -172,21 +230,197 @@ def run_points(
     Serial (a plain comprehension) when no :func:`sweep_context` is
     active, when ``jobs <= 1``, or for single-point sweeps; otherwise
     fanned across the context's process pool.  ``label`` names the
-    sweep in per-sweep metrics.
+    sweep in per-sweep metrics.  With an active journal, points already
+    checkpointed by a previous run of the same sweep are served from
+    the journal, and every fresh completion is checkpointed as it
+    lands.
     """
     specs = list(specs)
-    config, metrics = _config, _metrics
+    config, metrics, journal = _config, _metrics, _journal
     if metrics is not None:
         metrics.counter("sim.parallel.points_total").inc(len(specs))
         if label:
             metrics.counter(f"sim.parallel.points.{label}").inc(len(specs))
+    if journal is not None:
+        return _run_journaled(fn, specs, config, metrics, journal, label)
     if config is None or config.jobs <= 1 or len(specs) <= 1:
         return [fn(spec) for spec in specs]
     return _run_parallel(fn, specs, config, metrics)
 
 
+def _run_journaled(
+    fn: Callable[[S], R],
+    specs: list[S],
+    config: SweepConfig | None,
+    metrics: MetricsRegistry | None,
+    journal: SweepJournal,
+    label: str | None,
+) -> list[R]:
+    """Journal-aware evaluation: skip checkpointed points, checkpoint
+    fresh completions the moment the parent absorbs them."""
+    fingerprints = [point_fingerprint(fn, spec) for spec in specs]
+    results: list[R | None] = [None] * len(specs)
+    todo: list[int] = []
+    for i, fingerprint in enumerate(fingerprints):
+        hit = journal.lookup(fingerprint)
+        if SweepJournal.is_miss(hit):
+            todo.append(i)
+        else:
+            results[i] = hit  # type: ignore[assignment]
+    skipped = len(specs) - len(todo)
+    if skipped:
+        if metrics is not None:
+            metrics.counter("sim.resilience.journal_hits").inc(skipped)
+        emit_resilience_event(
+            "sweep-resumed",
+            run_id=journal.run_id,
+            label=label,
+            skipped=skipped,
+            total=len(specs),
+        )
+    if todo:
+
+        def on_point(sub_index: int, value: R) -> None:
+            index = todo[sub_index]
+            results[index] = value
+            if journal.append(fingerprints[index], value) and metrics is not None:
+                metrics.counter("sim.resilience.journal_appends").inc()
+
+        todo_specs = [specs[i] for i in todo]
+        if config is None or config.jobs <= 1 or len(todo_specs) <= 1:
+            for sub_index, spec in enumerate(todo_specs):
+                on_point(sub_index, fn(spec))
+        else:
+            _run_parallel(fn, todo_specs, config, metrics, on_point=on_point)
+    return results  # type: ignore[return-value]
+
+
 def _chunked(indexed: list[tuple[int, S]], size: int) -> list[list[tuple[int, S]]]:
     return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's workers (hung-pool containment).
+
+    Reaches into the executor because the public API has no way to kill
+    a worker; a terminated process unblocks the executor's own joins.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def _pool_round(
+    fn: Callable[[S], R],
+    chunks: list[list[tuple[int, S]]],
+    jobs: int,
+    config: SweepConfig,
+    metrics: MetricsRegistry | None,
+    absorb: Callable,
+    done: list[bool],
+) -> tuple[list[list[tuple[int, S]]], list[list[tuple[int, S]]], bool]:
+    """One process-pool pass over ``chunks``.
+
+    Returns ``(retryable, fatal, pool_lost)``: chunks that failed for
+    pool-level reasons (crash, hang, broken pool) and may be requeued;
+    chunks whose point function raised deterministically (they go
+    straight to in-process execution, where the error surfaces); and
+    whether the pool itself was lost (hang kill or construction
+    failure).
+    """
+    wd = config.watchdog
+    retryable: list[list[tuple[int, S]]] = []
+    fatal: list[list[tuple[int, S]]] = []
+    pool_lost = False
+    manager = None
+    heartbeats = None
+    soft_flagged: set[int] = set()
+
+    def count(name: str, amount: float = 1.0) -> None:
+        if metrics is not None:
+            metrics.counter(name).inc(amount)
+
+    try:
+        if wd is not None:
+            manager = multiprocessing.Manager()
+            heartbeats = manager.dict()
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(config.cache_dir,),
+        ) as pool:
+            pending: dict[Future, tuple[int, list[tuple[int, S]]]] = {}
+            for chunk_id, chunk in enumerate(chunks):
+                future = pool.submit(_run_chunk, fn, chunk, chunk_id, heartbeats)
+                pending[future] = (chunk_id, chunk)
+            hung = False
+            while pending and not hung:
+                timeout = wd.poll_s if wd is not None else None
+                finished, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    _, chunk = pending.pop(future)
+                    try:
+                        absorb(*future.result())
+                    except BrokenProcessPool:
+                        count("sim.parallel.worker_failures")
+                        pool_lost = True
+                        retryable.append(chunk)
+                    except Exception:
+                        count("sim.parallel.worker_failures")
+                        if wd is None:
+                            # legacy behavior: any failure falls back
+                            # in-process (where a deterministic error
+                            # re-raises exactly as it would serially)
+                            retryable.append(chunk)
+                        else:
+                            fatal.append(chunk)
+                if wd is not None and pending:
+                    now = _time.time()
+                    for chunk_id, _chunk in pending.values():
+                        try:
+                            beat = heartbeats.get(chunk_id)  # type: ignore[union-attr]
+                        except Exception:  # pragma: no cover - manager died
+                            beat = None
+                        if beat is None:
+                            continue  # not started yet; cannot be hung
+                        age = now - float(beat)
+                        if age > wd.soft_timeout_s and chunk_id not in soft_flagged:
+                            soft_flagged.add(chunk_id)
+                            count("sim.resilience.soft_timeouts")
+                        if age > wd.hard_timeout_s:
+                            hung = True
+                    if hung:
+                        count("sim.resilience.hung_chunks", float(len(pending)))
+                        emit_resilience_event(
+                            "hung-pool-killed",
+                            pending_chunks=len(pending),
+                            hard_timeout_s=wd.hard_timeout_s,
+                        )
+                        for future in pending:
+                            future.cancel()
+                        _kill_pool_processes(pool)
+                        retryable.extend(chunk for _, chunk in pending.values())
+                        pending = {}
+                        pool_lost = True
+            if hung:
+                pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        # the pool itself failed (submission error, fork failure):
+        # everything not yet absorbed may be requeued
+        count("sim.parallel.worker_failures")
+        pool_lost = True
+        claimed = {id(chunk) for chunk in retryable} | {id(chunk) for chunk in fatal}
+        retryable.extend(
+            chunk
+            for chunk in chunks
+            if id(chunk) not in claimed and not all(done[i] for i, _ in chunk)
+        )
+    finally:
+        if manager is not None:
+            manager.shutdown()
+    return retryable, fatal, pool_lost
 
 
 def _run_parallel(
@@ -194,7 +428,9 @@ def _run_parallel(
     specs: list[S],
     config: SweepConfig,
     metrics: MetricsRegistry | None,
+    on_point: Callable[[int, R], None] | None = None,
 ) -> list[R]:
+    wd = config.watchdog
     jobs = min(config.jobs, len(specs))
     chunk_size = config.chunk_size or max(1, ceil(len(specs) / (jobs * 4)))
     indexed = list(enumerate(specs))
@@ -202,18 +438,25 @@ def _run_parallel(
     results: list[R | None] = [None] * len(specs)
     done = [False] * len(specs)
     parent_sink = _sink_mod.get_sink()
-    failed_chunks: list[list[tuple[int, S]]] = []
+    remote = {"points": 0}
     start = perf_counter()
 
     def absorb(chunk_results, records, snapshot) -> None:
         for index, value in chunk_results:
             results[index] = value
             done[index] = True
+            remote["points"] += 1
+            if on_point is not None:
+                on_point(index, value)
         if parent_sink is not None:
             for payload in records:
                 parent_sink.write(RunRecord.from_dict(payload))
         if metrics is not None and snapshot:
             merge_snapshot(metrics, snapshot)
+
+    def count(name: str, amount: float = 1.0) -> None:
+        if metrics is not None:
+            metrics.counter(name).inc(amount)
 
     if metrics is not None:
         metrics.counter("sim.parallel.chunks").inc(len(chunks))
@@ -221,49 +464,75 @@ def _run_parallel(
         # explicit zeros rather than absent instruments
         metrics.counter("sim.parallel.worker_failures")
         metrics.counter("sim.parallel.fallback_points")
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_worker_init,
-            initargs=(config.cache_dir,),
-        ) as pool:
-            pending: dict[Future, list[tuple[int, S]]] = {
-                pool.submit(_run_chunk, fn, chunk): chunk for chunk in chunks
-            }
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    chunk = pending.pop(future)
-                    try:
-                        absorb(*future.result())
-                    except Exception:
-                        # worker crash, broken pool, or unpicklable
-                        # result: the chunk re-runs in-process below
-                        if metrics is not None:
-                            metrics.counter("sim.parallel.worker_failures").inc()
-                        failed_chunks.append(chunk)
-    except Exception:
-        # the pool itself failed (submission error, fork failure):
-        # everything not yet absorbed re-runs in-process
-        if metrics is not None:
-            metrics.counter("sim.parallel.worker_failures").inc()
-        failed_chunks = [
-            chunk for chunk in chunks if not all(done[i] for i, _ in chunk)
-        ]
 
-    for chunk in failed_chunks:
-        if metrics is not None:
-            metrics.counter("sim.parallel.fallback_points").inc(len(chunk))
+    tracker = PointTracker(wd.quarantine_after if wd is not None else 1)
+    outstanding = chunks
+    in_process: list[list[tuple[int, S]]] = []
+    pool_losses = 0
+    round_no = 0
+
+    while outstanding:
+        round_no += 1
+        retryable, fatal, pool_lost = _pool_round(
+            fn, outstanding, jobs, config, metrics, absorb, done
+        )
+        if pool_lost:
+            pool_losses += 1
+            count("sim.resilience.pool_losses")
+        outstanding = []
+        in_process.extend(fatal)
+        if wd is None:
+            # pre-watchdog behavior: one pool pass, failures fall back
+            in_process.extend(retryable)
+            break
+        requeue: list[tuple[int, S]] = []
+        for chunk in retryable:
+            for index, spec in chunk:
+                if done[index]:
+                    continue
+                if tracker.record_failure(index):
+                    count("sim.resilience.quarantined_points")
+                    emit_resilience_event(
+                        "point-quarantined",
+                        point=index,
+                        failures=tracker.failures[index],
+                    )
+                    in_process.append([(index, spec)])
+                else:
+                    requeue.append((index, spec))
+        if requeue:
+            exhausted = round_no > wd.retry.max_retries
+            if pool_losses >= wd.pool_loss_limit or exhausted:
+                count("sim.resilience.degraded_points", float(len(requeue)))
+                emit_resilience_event(
+                    "pool-degraded",
+                    points=len(requeue),
+                    pool_losses=pool_losses,
+                    rounds=round_no,
+                )
+                in_process.extend([point] for point in requeue)
+            else:
+                count("sim.resilience.requeued_points", float(len(requeue)))
+                backoff = wd.retry.backoff(round_no)
+                if backoff > 0:
+                    if metrics is not None:
+                        metrics.timer("sim.resilience.retry_backoff_wall").record(backoff)
+                    _time.sleep(backoff)
+                outstanding = _chunked(requeue, chunk_size)
+
+    for chunk in in_process:
+        count("sim.parallel.fallback_points", float(len(chunk)))
         for index, spec in chunk:
             if not done[index]:
                 # in-process: the parent's cache and sink apply directly
-                results[index] = fn(spec)
+                value = fn(spec)
+                results[index] = value
                 done[index] = True
+                if on_point is not None:
+                    on_point(index, value)
 
     if metrics is not None:
-        metrics.counter("sim.parallel.points_remote").inc(sum(done) - sum(
-            len(c) for c in failed_chunks
-        ))
+        metrics.counter("sim.parallel.points_remote").inc(remote["points"])
         metrics.timer("sim.parallel.dispatch_wall").record(perf_counter() - start)
     missing = [i for i, flag in enumerate(done) if not flag]
     if missing:  # pragma: no cover - defensive; fallback covers all paths

@@ -1,0 +1,282 @@
+"""Sweep journal: crash-safe checkpointing for ``run_points`` sweeps.
+
+A long figure sweep is a sequence of pure, deterministic points; losing
+the whole run to a crash, a kill, or a Ctrl-C is pure waste.  The
+journal makes sweeps resumable: every completed point is appended to a
+JSON-Lines file -- one fsync'd line per point, each carrying its own
+checksum -- keyed by a **point fingerprint** (a SHA-256 over the point
+function's identity and the canonical encoding of its spec).  On
+resume, any point whose fingerprint is already journaled is served from
+the journal instead of recomputed; because cached results round-trip
+JSON exactly (the same property the schedule cache relies on), a
+resumed sweep is bit-identical to an uninterrupted one.
+
+Robustness properties:
+
+- **Atomic, durable appends.**  A record is one ``write()`` of one full
+  line, flushed and ``fsync``'d before :meth:`SweepJournal.append`
+  returns, so a crash can lose at most the point in flight, never a
+  completed one.
+- **Self-healing loads.**  A truncated tail (torn write), a corrupt
+  line, a checksum mismatch, or a stale schema is *skipped and
+  counted*, never fatal: the affected points simply recompute.  The
+  journal is an optimization, not a source of truth.
+- **Content-addressed run ids.**  :func:`derive_run_id` hashes the
+  sweep definition (experiment ids, mode, cache schema) the same way
+  the schedule cache hashes artifacts, so ``--resume`` can re-derive
+  the id of the run it is resuming without any side channel.
+
+The journal composes with the schedule cache (which deduplicates
+*artifacts* within and across runs) by deduplicating *points* across
+process lifetimes of the same run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from enum import Enum
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JournalLoad",
+    "SweepJournal",
+    "derive_run_id",
+    "load_journal",
+    "point_fingerprint",
+]
+
+#: Bump when the journal record format (or the meaning of a stored
+#: result) changes; old journals then resume nothing rather than
+#: resuming wrongly.
+JOURNAL_SCHEMA = 1
+
+#: Sentinel distinguishing "not journaled" from a journaled ``None``.
+_MISS = object()
+
+
+def _canonical(obj: object) -> object:
+    """A JSON-safe canonical form of a point spec component.
+
+    Handles the primitives, containers, enums, and (frozen) dataclasses
+    that point specs are built from; anything else is rejected so a
+    fingerprint can never silently depend on an unstable ``repr``.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_canonical(item) for item in obj)  # type: ignore[type-var]
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value) for key, value in sorted(obj.items())}
+    if isinstance(obj, Enum):
+        return [type(obj).__name__, obj.name]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return [type(obj).__name__, fields]
+    raise TypeError(
+        f"cannot fingerprint spec component {obj!r} of type {type(obj).__name__}"
+    )
+
+
+def _digest(payload: object) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def point_fingerprint(fn: Callable, spec: object) -> str:
+    """SHA-256 fingerprint of one sweep point: *which function* over
+    *which spec*.
+
+    Stable across processes, platforms, and Python versions; moving or
+    renaming the point function deliberately invalidates its journal
+    entries (its results may have changed meaning).
+    """
+    identity = [
+        getattr(fn, "__module__", ""),
+        getattr(fn, "__qualname__", repr(fn)),
+    ]
+    return _digest(
+        {"schema": JOURNAL_SCHEMA, "fn": identity, "spec": _canonical(spec)}
+    )
+
+
+def derive_run_id(*components: object) -> str:
+    """A 12-hex-char run id content-addressed by the sweep definition.
+
+    The same definition always derives the same id, which is what lets
+    ``--resume`` find the journal of a crashed run without the user
+    copying anything: re-issue the same command with ``--resume``.
+    """
+    return _digest({"schema": JOURNAL_SCHEMA, "run": [_canonical(c) for c in components]})[
+        :12
+    ]
+
+
+def _record_checksum(fingerprint: str, result: object) -> str:
+    return _digest({"schema": JOURNAL_SCHEMA, "fp": fingerprint, "result": result})[:16]
+
+
+@dataclasses.dataclass(slots=True)
+class JournalLoad:
+    """Outcome of reading a journal file back."""
+
+    results: dict[str, object]
+    records: int = 0
+    corrupt: int = 0
+    run_id: str | None = None
+    meta: dict | None = None
+
+
+def load_journal(path: str | os.PathLike) -> JournalLoad:
+    """Read a journal file, skipping (and counting) damaged records.
+
+    Never raises on damaged content: unparseable lines, checksum
+    mismatches, and stale schemas are quarantined into the ``corrupt``
+    count.  A missing file is an empty load.
+    """
+    state = JournalLoad(results={})
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError:
+        return state
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            state.corrupt += 1
+            continue
+        if not isinstance(payload, dict) or payload.get("schema") != JOURNAL_SCHEMA:
+            state.corrupt += 1
+            continue
+        if payload.get("header"):
+            state.run_id = payload.get("run_id")
+            meta = payload.get("meta")
+            state.meta = meta if isinstance(meta, dict) else None
+            continue
+        fingerprint = payload.get("fp")
+        checksum = payload.get("sum")
+        if not isinstance(fingerprint, str) or not isinstance(checksum, str):
+            state.corrupt += 1
+            continue
+        result = payload.get("result")
+        if _record_checksum(fingerprint, result) != checksum:
+            state.corrupt += 1
+            continue
+        state.results[fingerprint] = result
+        state.records += 1
+    return state
+
+
+class SweepJournal:
+    """Append-only checkpoint log for one sweep run.
+
+    One instance is the single writer for its file (the parent process
+    of a sweep; workers never touch the journal).  Opening with
+    ``resume=True`` loads every intact record first, so
+    :meth:`lookup` can serve already-computed points; opening without
+    ``resume`` truncates any previous file so two distinct runs never
+    interleave in one journal.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        run_id: str | None = None,
+        meta: dict | None = None,
+        resume: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.meta = meta
+        self.resumed_records = 0
+        self.corrupt_records = 0
+        self.appended = 0
+        self.skipped_appends = 0
+        self._seen: dict[str, object] = {}
+        self._file = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume:
+            load = load_journal(self.path)
+            self._seen = load.results
+            self.resumed_records = load.records
+            self.corrupt_records = load.corrupt
+            if self.run_id is None:
+                self.run_id = load.run_id
+        self._file = open(self.path, "a" if resume else "w", encoding="utf-8")
+        if not resume or (self.resumed_records == 0 and self.corrupt_records == 0):
+            self._write_line(
+                {
+                    "schema": JOURNAL_SCHEMA,
+                    "header": True,
+                    "run_id": self.run_id,
+                    "meta": self.meta,
+                }
+            )
+
+    # -- writing -------------------------------------------------------
+
+    def _write_line(self, payload: dict) -> None:
+        assert self._file is not None
+        self._file.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def append(self, fingerprint: str, result: object) -> bool:
+        """Durably record one completed point; returns ``False`` (and
+        records nothing) when the result is not JSON-serializable --
+        the point will simply recompute on resume."""
+        if self._file is None or self._file.closed:
+            return False
+        try:
+            checksum = _record_checksum(fingerprint, result)
+            payload = {
+                "schema": JOURNAL_SCHEMA,
+                "fp": fingerprint,
+                "result": result,
+                "sum": checksum,
+            }
+            line = json.dumps(payload, separators=(",", ":"))
+        except (TypeError, ValueError):
+            self.skipped_appends += 1
+            return False
+        self._file.write(line + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._seen[fingerprint] = result
+        self.appended += 1
+        return True
+
+    # -- reading -------------------------------------------------------
+
+    def lookup(self, fingerprint: str) -> object:
+        """The journaled result, or the module-private miss sentinel."""
+        return self._seen.get(fingerprint, _MISS)
+
+    @staticmethod
+    def is_miss(value: object) -> bool:
+        return value is _MISS
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -40,7 +40,11 @@ def _encode(component: object) -> str:
         return "t:(" + ",".join(_encode(c) for c in component) + ")"
     if component is None:
         return "n:"
-    raise TypeError(f"unhashable seed component type: {type(component).__name__}")
+    raise TypeError(
+        f"cannot derive a seed from component {component!r} of type "
+        f"{type(component).__name__}: seed components must be int, float, "
+        f"str, bool, None, or (nested) tuples/lists thereof"
+    )
 
 
 def derive_seed(base: int, *components: object) -> int:

@@ -51,6 +51,7 @@ class TestLayers:
         assert cache.get(key) == {"v": 2}
         assert cache.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "disk_hits": 0, "puts": 1,
+            "quarantined": 0,
         }
 
     def test_disk_shared_between_instances(self, tmp_path):
@@ -134,9 +135,12 @@ class TestCachedArtifacts:
         table = cached_schedule_table("wsort", n, source, dests, ALL_PORT)
         assert table["max_step"] == 2
 
-    def test_disk_entries_are_valid_json_files(self, active_cache):
+    def test_disk_entries_are_checksummed_envelopes(self, active_cache):
         n, source, dests = FIG8
         cached_schedule_table("ucube", n, source, dests, ALL_PORT)
         files = list(active_cache.cache_dir.rglob("*.json"))
         assert len(files) == 1
-        assert "max_step" in json.loads(files[0].read_text())
+        envelope = json.loads(files[0].read_text())
+        assert envelope["key"] == files[0].stem
+        assert "checksum" in envelope
+        assert "max_step" in envelope["value"]

@@ -1,0 +1,312 @@
+"""Chaos tests: the sweep runtime under injected process-level failure.
+
+Every test here damages the runtime mid-flight -- killed workers,
+injected hangs, a crashed sweep process, truncated journals, corrupted
+cache entries -- and asserts the same two invariants each time:
+
+1. the sweep still *terminates*, and
+2. the results are **byte-identical** to an undisturbed serial run.
+
+The point functions live at module level so they pickle by reference
+into pool workers; destructive behaviors are gated on
+``os.getpid() != _PARENT_PID`` so the in-process fallback (which runs
+in the parent) always completes.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import run_sweep, sweep_run_id
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import capture
+from repro.parallel.engine import run_points, sweep_context
+from repro.parallel.journal import load_journal
+from repro.parallel.resilience import RetryPolicy, WatchdogConfig
+
+_PARENT_PID = os.getpid()
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A watchdog tuned for test speed: hangs are declared within ~half a
+#: second and retries back off for milliseconds, not seconds.
+_FAST_WATCHDOG = WatchdogConfig(
+    soft_timeout_s=0.2,
+    hard_timeout_s=0.45,
+    poll_s=0.05,
+    retry=RetryPolicy(max_retries=2, backoff_base_s=0.01, backoff_cap_s=0.05),
+    quarantine_after=2,
+    pool_loss_limit=10,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _die_in_worker(x: int) -> int:
+    if os.getpid() != _PARENT_PID:
+        os._exit(13)  # hard crash mid-chunk
+    return x * x
+
+
+def _hang_in_worker(x: int) -> int:
+    if os.getpid() != _PARENT_PID:
+        time.sleep(60.0)  # way past the hard timeout; killed, not joined
+    return x * x
+
+
+class TestWatchdogEngine:
+    def test_healthy_sweep_unaffected_by_watchdog(self):
+        with sweep_context(jobs=2, chunk_size=2, watchdog=_FAST_WATCHDOG) as registry:
+            assert run_points(_square, range(8)) == [x * x for x in range(8)]
+        snap = registry.snapshot()
+        assert snap["sim.parallel.points_remote"]["value"] == 8
+        assert "sim.resilience.hung_chunks" not in snap
+        assert "sim.resilience.quarantined_points" not in snap
+
+    def test_crashing_workers_retry_then_quarantine(self):
+        """Workers that die on every attempt: each point burns its
+        retry budget, is quarantined as poison, and completes
+        in-process -- the sweep terminates with full results."""
+        with capture() as sink:
+            with sweep_context(
+                jobs=2, chunk_size=2, watchdog=_FAST_WATCHDOG
+            ) as registry:
+                assert run_points(_die_in_worker, range(6)) == [
+                    x * x for x in range(6)
+                ]
+        snap = registry.snapshot()
+        assert snap["sim.resilience.quarantined_points"]["value"] == 6
+        assert snap["sim.resilience.requeued_points"]["value"] == 6
+        assert snap["sim.resilience.pool_losses"]["value"] >= 1
+        events = {r.extra["event"] for r in sink.records if r.kind == "resilience-event"}
+        assert "point-quarantined" in events
+
+    def test_hung_workers_are_killed_and_sweep_terminates(self):
+        """The pre-watchdog engine would block forever here; the
+        watchdog must declare the pool hung within the hard timeout,
+        kill it, and finish the points in-process."""
+        start = time.perf_counter()
+        with sweep_context(
+            jobs=2, chunk_size=1, watchdog=_FAST_WATCHDOG
+        ) as registry:
+            assert run_points(_hang_in_worker, range(4)) == [0, 1, 4, 9]
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0  # terminated by the watchdog, not the sleep
+        snap = registry.snapshot()
+        assert snap["sim.resilience.hung_chunks"]["value"] >= 1
+        assert snap["sim.resilience.pool_losses"]["value"] >= 1
+        assert snap["sim.resilience.soft_timeouts"]["value"] >= 1
+
+    def test_repeated_pool_loss_degrades_to_in_process(self):
+        wd = WatchdogConfig(
+            soft_timeout_s=0.2,
+            hard_timeout_s=0.45,
+            poll_s=0.05,
+            retry=RetryPolicy(max_retries=5, backoff_base_s=0.01, backoff_cap_s=0.02),
+            quarantine_after=10,  # never reached: degradation fires first
+            pool_loss_limit=1,
+        )
+        with sweep_context(jobs=2, chunk_size=2, watchdog=wd) as registry:
+            assert run_points(_die_in_worker, range(4)) == [0, 1, 4, 9]
+        snap = registry.snapshot()
+        assert snap["sim.resilience.degraded_points"]["value"] == 4
+        assert snap["sim.parallel.fallback_points"]["value"] == 4
+
+
+def _crashing_delay_point(monkeypatch, crash_after: int):
+    """Replace the fig11/fig12 point function with a wrapper that
+    raises after ``crash_after`` successful points.  functools.wraps
+    keeps the journal fingerprint identical to the real function, as a
+    real crash-and-resume would see."""
+    from repro.analysis import delay as delay_mod
+
+    original = delay_mod._delay_point
+    calls = {"n": 0}
+
+    @functools.wraps(original)
+    def wrapper(spec):
+        if calls["n"] >= crash_after:
+            raise RuntimeError("injected mid-sweep crash")
+        calls["n"] += 1
+        return original(spec)
+
+    monkeypatch.setattr(delay_mod, "_delay_point", wrapper)
+
+
+class TestCrashResume:
+    def test_fig11_crash_then_resume_is_byte_identical(self, tmp_path, monkeypatch):
+        """The acceptance scenario, in-process: a journaled fig11 sweep
+        dies mid-run; resuming it completes from the checkpoint and
+        renders byte-identically to an undisturbed serial run."""
+        reference = run_sweep(["fig11"], fast=True)["fig11"].to_json()
+
+        journal_dir = tmp_path / "journal"
+        _crashing_delay_point(monkeypatch, crash_after=4)
+        with pytest.raises(RuntimeError, match="injected"):
+            run_sweep(["fig11"], fast=True, journal_dir=str(journal_dir))
+        monkeypatch.undo()
+
+        run_id = sweep_run_id(["fig11"], fast=True)
+        journal_path = journal_dir / f"{run_id}.jsonl"
+        crashed = load_journal(journal_path)
+        assert crashed.records == 4  # every pre-crash point was fsync'd
+        assert crashed.run_id == run_id
+
+        registry = MetricsRegistry()
+        resumed = run_sweep(
+            ["fig11"],
+            fast=True,
+            journal_dir=str(journal_dir),
+            resume=True,
+            metrics=registry,
+        )["fig11"]
+        assert resumed.to_json() == reference
+        snap = registry.snapshot()
+        assert snap["sim.resilience.journal_hits"]["value"] == 4
+
+    def test_resume_emits_sweep_resumed_event(self, tmp_path, monkeypatch):
+        journal_dir = tmp_path / "journal"
+        _crashing_delay_point(monkeypatch, crash_after=2)
+        with pytest.raises(RuntimeError):
+            run_sweep(["fig11"], fast=True, journal_dir=str(journal_dir))
+        monkeypatch.undo()
+        with capture() as sink:
+            run_sweep(
+                ["fig11"], fast=True, journal_dir=str(journal_dir), resume=True
+            )
+        resumes = [r for r in sink.records if r.kind == "resilience-event"
+                   and r.extra["event"] == "sweep-resumed"]
+        assert resumes and resumes[0].extra["skipped"] == 2
+
+    def test_truncated_journal_still_resumes_byte_identically(self, tmp_path):
+        """A torn final write (the classic crash artifact) costs one
+        point of recompute, never correctness."""
+        reference = run_sweep(["fig11"], fast=True)["fig11"].to_json()
+        journal_dir = tmp_path / "journal"
+        run_sweep(["fig11"], fast=True, journal_dir=str(journal_dir))
+        journal_path = journal_dir / f"{sweep_run_id(['fig11'], fast=True)}.jsonl"
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[: int(len(raw) * 0.8)])  # tear the tail
+
+        registry = MetricsRegistry()
+        resumed = run_sweep(
+            ["fig11"], fast=True, journal_dir=str(journal_dir),
+            resume=True, metrics=registry,
+        )["fig11"]
+        assert resumed.to_json() == reference
+        hits = registry.snapshot()["sim.resilience.journal_hits"]["value"]
+        assert 0 < hits < 10  # some resumed, the torn tail recomputed
+
+    def test_corrupted_journal_records_recompute_not_crash(self, tmp_path):
+        reference = run_sweep(["fig11"], fast=True)["fig11"].to_json()
+        journal_dir = tmp_path / "journal"
+        run_sweep(["fig11"], fast=True, journal_dir=str(journal_dir))
+        journal_path = journal_dir / f"{sweep_run_id(['fig11'], fast=True)}.jsonl"
+        lines = journal_path.read_text().splitlines()
+        # tamper with two records: one unparseable, one checksum-stale
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        record = json.loads(lines[3])
+        record["result"] = {"forged": True}
+        lines[3] = json.dumps(record)
+        journal_path.write_text("\n".join(lines) + "\n")
+
+        resumed = run_sweep(
+            ["fig11"], fast=True, journal_dir=str(journal_dir), resume=True
+        )["fig11"]
+        assert resumed.to_json() == reference
+
+
+class TestCacheChaos:
+    def test_corrupt_cache_entries_quarantined_and_recomputed(self, tmp_path):
+        """The acceptance scenario for cache integrity: damage on disk
+        is contained (quarantined) and recomputed, never fatal, and the
+        re-run renders byte-identically."""
+        cache_dir = tmp_path / "cache"
+        reference = run_sweep(["fig11"], fast=True, cache_dir=str(cache_dir))[
+            "fig11"
+        ].to_json()
+        entries = sorted(
+            p for p in cache_dir.rglob("*.json") if "_quarantine" not in p.parts
+        )
+        assert entries
+        entries[0].write_text("{torn mid-write", encoding="utf-8")
+        envelope = json.loads(entries[1].read_text())
+        envelope["value"] = {"forged": "payload"}
+        entries[1].write_text(json.dumps(envelope), encoding="utf-8")
+
+        registry = MetricsRegistry()
+        rerun = run_sweep(
+            ["fig11"], fast=True, cache_dir=str(cache_dir), metrics=registry
+        )["fig11"]
+        assert rerun.to_json() == reference
+        snap = registry.snapshot()
+        assert snap["sim.resilience.cache_quarantined"]["value"] == 2
+        quarantined = list((cache_dir / "_quarantine").iterdir())
+        assert len(quarantined) == 2
+
+
+@pytest.mark.slow
+class TestKilledSweepProcess:
+    def test_sigkilled_sweep_resumes_via_cli_byte_identically(self, tmp_path):
+        """The full acceptance scenario, end to end through the CLI: a
+        journaled parallel fig11 sweep is SIGKILLed mid-run (taking its
+        worker pool with it), then ``sweep --resume`` completes it with
+        output byte-identical to an undisturbed run."""
+        journal_dir = tmp_path / "journal"
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+        env.pop("REPRO_FULL", None)
+        argv = [
+            sys.executable, "-m", "repro", "sweep", "fig11", "--json",
+            "--jobs", "2", "--journal-dir", str(journal_dir),
+            "--cache-dir", str(cache_dir),
+        ]
+        victim = subprocess.Popen(
+            argv, env=env, cwd=_REPO_ROOT, start_new_session=True,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        run_id = None
+        try:
+            # wait for a few checkpointed points, then kill the whole
+            # process group (sweep parent + pool workers) mid-run
+            deadline = time.time() + 60.0
+            journal_path = None
+            while time.time() < deadline:
+                candidates = list(journal_dir.glob("*.jsonl"))
+                if candidates:
+                    journal_path = candidates[0]
+                    if len(journal_path.read_text().splitlines()) >= 3:
+                        break
+                if victim.poll() is not None:
+                    break  # finished before we could kill it; still fine
+                time.sleep(0.02)
+            assert journal_path is not None, "sweep never opened its journal"
+            run_id = journal_path.stem
+            if victim.poll() is None:
+                os.killpg(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=30)
+
+        load = load_journal(journal_path)
+        assert load.run_id == run_id
+
+        resumed = subprocess.run(
+            argv + ["--resume", run_id], env=env, cwd=_REPO_ROOT,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "served from journal" in resumed.stderr
+
+        reference = run_sweep(["fig11"], fast=True)["fig11"]
+        document = json.loads(resumed.stdout)
+        assert document["fig11"] == json.loads(reference.to_json())

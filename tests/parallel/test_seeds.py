@@ -45,6 +45,18 @@ class TestDeriveSeed:
         with pytest.raises(TypeError):
             derive_seed(0, object())
 
+    def test_rejection_names_the_offending_component(self):
+        """The error identifies *which* component broke, and its type --
+        'unhashable seed component' with no culprit was undebuggable in
+        a 5-component key."""
+        with pytest.raises(TypeError, match=r"\{'bad'\} of type set"):
+            derive_seed(0, "fig11", 5, {"bad"})
+        with pytest.raises(TypeError, match="of type dict"):
+            derive_seed(0, ("nested", {"m": 1}))
+        # the message teaches the accepted types
+        with pytest.raises(TypeError, match="tuples/lists"):
+            derive_seed(0, b"bytes")
+
     def test_accepted_by_numpy_and_random(self):
         import random
 

@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _run_cli(*argv: str, cwd=None) -> subprocess.CompletedProcess:
+    """Invoke the real ``python -m repro`` entry point (exit codes and
+    stderr behavior must hold for the installed command, not just
+    ``main()`` in-process)."""
+    env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=env, cwd=cwd or _REPO_ROOT, capture_output=True, text=True, timeout=300,
+    )
 
 
 class TestList:
@@ -224,6 +242,108 @@ class TestFaults:
             assert rec.extra["deadlock"]["verdict"] in (
                 "clear", "contention", "fault-stall", "deadlock"
             )
+
+
+class TestExitCodes:
+    """Failures must reach the invoking shell as nonzero exit codes --
+    a CI script piping ``repro-hypercube`` must never see a silent 0."""
+
+    def test_runtime_error_exits_one_with_message(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        proc = _run_cli(
+            "experiment", "fig9", "--cache-dir", str(blocker / "cache")
+        )
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_unknown_sweep_id_exits_two(self):
+        proc = _run_cli("sweep", "not-a-figure")
+        assert proc.returncode == 2
+        assert "unknown experiment" in proc.stderr
+
+    def test_resume_without_journal_dir_exits_two(self):
+        proc = _run_cli("sweep", "fig11", "--resume")
+        assert proc.returncode == 2
+        assert "--journal-dir" in proc.stderr
+
+    def test_report_fail_exits_one(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.analysis.report.markdown_report",
+            lambda fast, figures: "| claim | FAIL | detail |",
+        )
+        assert main(["report", "--figures", "fig11"]) == 1
+
+    def test_mismatched_resume_run_id_exits_two(self, capsys, tmp_path):
+        rc = main(
+            ["sweep", "fig11", "--journal-dir", str(tmp_path),
+             "--resume", "feedc0ffee99"]
+        )
+        assert rc == 2
+        assert "does not match" in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def _seed(self, tmp_path) -> Path:
+        from repro.parallel.cache import ScheduleCache, cache_key
+
+        cache_dir = tmp_path / "cache"
+        cache = ScheduleCache(cache_dir)
+        for x in range(3):
+            cache.put(cache_key("t", x=x), {"v": x})
+        return cache_dir
+
+    def test_verify_clean_cache(self, capsys, tmp_path):
+        cache_dir = self._seed(tmp_path)
+        assert main(["cache", "verify", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "3 intact" in out and "no damage" in out
+
+    def test_verify_reports_damage_and_repairs(self, capsys, tmp_path):
+        cache_dir = self._seed(tmp_path)
+        victim = next(p for p in sorted(cache_dir.rglob("*.json")))
+        victim.write_text("{torn")
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        assert "corrupt: 1 found" in capsys.readouterr().out
+        assert main(["cache", "verify", str(cache_dir), "--repair"]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        assert not victim.exists()
+
+    def test_gc_reclaims_quarantine(self, capsys, tmp_path):
+        cache_dir = self._seed(tmp_path)
+        next(iter(sorted(cache_dir.rglob("*.json")))).write_text("{torn")
+        main(["cache", "verify", str(cache_dir), "--repair"])
+        capsys.readouterr()
+        assert main(["cache", "gc", str(cache_dir)]) == 0
+        assert "removed 1 quarantined" in capsys.readouterr().out
+        assert not (cache_dir / "_quarantine").exists() or not list(
+            (cache_dir / "_quarantine").iterdir()
+        )
+
+    def test_missing_directory_exits_two(self, capsys, tmp_path):
+        assert main(["cache", "verify", str(tmp_path / "absent")]) == 2
+        assert main(["cache", "gc", str(tmp_path / "absent")]) == 2
+
+
+class TestSweepResumeCli:
+    def test_sweep_journal_then_resume(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        journal_dir = str(tmp_path / "journal")
+        assert main(["sweep", "fig11", "--journal-dir", journal_dir]) == 0
+        first = capsys.readouterr().out
+        assert "0 point(s) served from journal" in first
+        assert main(
+            ["sweep", "fig11", "--journal-dir", journal_dir, "--resume"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "10 point(s) served from journal" in second
+
+        def table(text: str) -> list[str]:
+            return [ln for ln in text.splitlines() if "journal:" not in ln
+                    and "parallel:" not in ln]
+
+        assert table(first) == table(second)  # resumed output byte-identical
 
 
 class TestCollective:

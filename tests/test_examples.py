@@ -68,6 +68,16 @@ def test_parallel_sweep(capsys):
     assert "wsort" in out  # the rendered fig11 table
 
 
+def test_resilient_sweep(capsys):
+    out = run_example("resilient_sweep.py", capsys)
+    assert "points checkpointed" in out
+    assert "served from the journal, the torn record recomputed -- table identical  OK" in out
+    assert "quarantined and recomputed -- table identical  OK" in out
+    assert "audit clean: True" in out
+    assert "gc dropped 1 quarantined file(s)" in out
+    assert "watchdog:" in out
+
+
 def test_mesh_multicast(capsys):
     out = run_example("mesh_multicast.py", capsys)
     assert "free" in out
