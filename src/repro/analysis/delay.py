@@ -15,6 +15,7 @@ from typing import Sequence
 from repro.analysis.workloads import random_destination_sets
 from repro.multicast.ports import ALL_PORT, PortModel
 from repro.multicast.registry import PAPER_ALGORITHMS
+from repro.obs import trace_spans
 from repro.parallel.cache import cached_delay_stats
 from repro.parallel.engine import run_points
 from repro.simulator.params import NCUBE2, Timings
@@ -64,21 +65,22 @@ def _delay_point(spec: _DelayPoint) -> dict[str, tuple[float, float, float]]:
     (algorithm, destination-set) simulation is served from the schedule
     cache when one is active.
     """
-    sets = random_destination_sets(
-        spec.n, spec.m, spec.sets_per_point, seed=spec.seed, source=spec.source
-    )
-    out: dict[str, tuple[float, float, float]] = {}
-    for name in spec.algorithms:
-        avgs, maxs, blks = [], [], []
-        for dests in sets:
-            stats = cached_delay_stats(
-                name, spec.n, spec.source, dests, spec.size, spec.timings, spec.ports
-            )
-            avgs.append(stats["avg_delay_us"])
-            maxs.append(stats["max_delay_us"])
-            blks.append(stats["total_blocked_us"])
-        out[name] = (mean(avgs), mean(maxs), mean(blks))
-    return out
+    with trace_spans.span("point.delay", n=spec.n, m=spec.m, sets=spec.sets_per_point):
+        sets = random_destination_sets(
+            spec.n, spec.m, spec.sets_per_point, seed=spec.seed, source=spec.source
+        )
+        out: dict[str, tuple[float, float, float]] = {}
+        for name in spec.algorithms:
+            avgs, maxs, blks = [], [], []
+            for dests in sets:
+                stats = cached_delay_stats(
+                    name, spec.n, spec.source, dests, spec.size, spec.timings, spec.ports
+                )
+                avgs.append(stats["avg_delay_us"])
+                maxs.append(stats["max_delay_us"])
+                blks.append(stats["total_blocked_us"])
+            out[name] = (mean(avgs), mean(maxs), mean(blks))
+        return out
 
 
 def delay_experiment(

@@ -18,6 +18,7 @@ from time import perf_counter
 from typing import Callable, Sequence
 
 from repro.obs import sink as _telemetry_sink
+from repro.obs import trace_spans
 from repro.obs.telemetry import RunRecord, new_run_id
 
 from repro.analysis.delay import delay_experiment
@@ -549,9 +550,12 @@ def _run_one(exp_id: str, fast: bool | None) -> Table:
         raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
     if fast is None:
         fast = default_fast()
-    wall_start = perf_counter()
-    table = exp.run(fast)
-    wall_seconds = perf_counter() - wall_start
+    with trace_spans.span("experiment", id=exp_id, fast=bool(fast)) as _span:
+        wall_start = perf_counter()
+        table = exp.run(fast)
+        wall_seconds = perf_counter() - wall_start
+        if _span is not None:
+            _span.set(points=len(table.x_values), wall_seconds=round(wall_seconds, 6))
     sink = _telemetry_sink.get_sink()
     if sink is not None:
         _emit_table_points(sink, exp, table, fast, wall_seconds)
@@ -690,6 +694,7 @@ def _emit_table_points(
                     "columns": {name: col[i] for name, col in table.columns.items()},
                     "wall_is_experiment_total": True,
                 },
+                trace_id=trace_spans.current_trace_id(),
             )
         )
 

@@ -16,6 +16,7 @@ from typing import Sequence
 from repro.analysis.workloads import random_destination_sets
 from repro.multicast.ports import ALL_PORT, PortModel
 from repro.multicast.registry import PAPER_ALGORITHMS
+from repro.obs import trace_spans
 from repro.parallel.cache import cached_schedule_table
 from repro.parallel.engine import run_points
 
@@ -59,17 +60,18 @@ def _steps_point(spec: _StepsPoint) -> dict[str, tuple[float, int, int]]:
     Module-level (and spec-driven) so the sweep engine can run it in a
     worker process; the serial path runs the identical code.
     """
-    sets = random_destination_sets(
-        spec.n, spec.m, spec.sets_per_point, seed=spec.seed, source=spec.source
-    )
-    out: dict[str, tuple[float, int, int]] = {}
-    for name in spec.algorithms:
-        counts = [
-            cached_schedule_table(name, spec.n, spec.source, dests, spec.ports)["max_step"]
-            for dests in sets
-        ]
-        out[name] = (mean(counts), min(counts), max(counts))
-    return out
+    with trace_spans.span("point.steps", n=spec.n, m=spec.m, sets=spec.sets_per_point):
+        sets = random_destination_sets(
+            spec.n, spec.m, spec.sets_per_point, seed=spec.seed, source=spec.source
+        )
+        out: dict[str, tuple[float, int, int]] = {}
+        for name in spec.algorithms:
+            counts = [
+                cached_schedule_table(name, spec.n, spec.source, dests, spec.ports)["max_step"]
+                for dests in sets
+            ]
+            out[name] = (mean(counts), min(counts), max(counts))
+        return out
 
 
 def stepwise_experiment(

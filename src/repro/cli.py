@@ -20,6 +20,14 @@ Subcommands:
 - ``cache`` -- ``verify`` (audit a schedule-cache directory for
   corrupt/stale entries, optionally ``--repair``-quarantining them)
   and ``gc`` (drop quarantined entries and stray temp files).
+- ``trace`` -- run experiments under the span tracer and export the
+  timeline as Chrome trace-event JSON (loadable in Perfetto /
+  ``chrome://tracing``), optionally with a Prometheus text dump of the
+  metrics registry; see docs/TRACING.md.
+- ``bench`` -- run the curated benchmark suite, append one entry to the
+  committed ``benchmarks/BENCH_<host-class>.json`` ledger, and exit 1
+  when any benchmark regresses beyond the threshold vs the previous
+  entry; see docs/TRACING.md.
 
 ``experiment``, ``collective``, ``stats``, ``faults``, and ``sweep``
 accept ``--telemetry PATH`` to export structured
@@ -28,7 +36,9 @@ the ``REPRO_TELEMETRY`` environment variable; see
 docs/OBSERVABILITY.md).  ``experiment`` and ``sweep`` accept
 ``--parallel`` / ``--jobs N`` / ``--cache-dir PATH`` to fan points
 across worker processes with content-addressed schedule caching;
-results are bit-identical to serial runs.
+results are bit-identical to serial runs.  Both also accept
+``--trace PATH`` to write a Chrome trace-event sidecar of the run
+(worker spans included); the figures themselves are unchanged by it.
 
 Every subcommand exits nonzero on failure: ``1`` for a runtime error
 (the message goes to stderr), ``2`` for bad arguments, ``130`` on
@@ -38,6 +48,7 @@ Ctrl-C.  ``report`` exits ``1`` when any figure check FAILs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -68,6 +79,24 @@ def _with_telemetry(args: argparse.Namespace, fn: Callable):
         return fn()
     finally:
         telemetry_sink.configure(previous)
+
+
+def _with_trace(args: argparse.Namespace, fn: Callable):
+    """Run ``fn`` under a fresh tracer when ``--trace PATH`` was given,
+    exporting the Chrome trace-event JSON afterwards.  With ``--json``
+    the note goes to stderr so stdout stays a clean document."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return fn()
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.trace_spans import Tracer, trace_capture
+
+    with trace_capture(Tracer(label=args.command)) as tracer:
+        result = fn()
+    events = write_chrome_trace(path, tracer)
+    out = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(f"trace {tracer.trace_id}: {events} event(s) written to {path}", file=out)
+    return result
 
 
 def _parse_ports(text: str):
@@ -154,10 +183,13 @@ def _print_parallel_summary(registry, file=None) -> None:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     jobs = _resolve_jobs(args)
-    table = _with_telemetry(
+    table = _with_trace(
         args,
-        lambda: run_experiment(
-            args.id, fast=not args.full, jobs=jobs, cache_dir=args.cache_dir
+        lambda: _with_telemetry(
+            args,
+            lambda: run_experiment(
+                args.id, fast=not args.full, jobs=jobs, cache_dir=args.cache_dir
+            ),
         ),
     )
     if args.json:
@@ -213,17 +245,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     jobs = _resolve_jobs(args)
     registry = MetricsRegistry()
-    tables = _with_telemetry(
+    tables = _with_trace(
         args,
-        lambda: run_sweep(
-            ids,
-            fast=not args.full,
-            jobs=jobs,
-            cache_dir=args.cache_dir,
-            metrics=registry,
-            journal_dir=args.journal_dir,
-            resume=resume,
-            watchdog=_resolve_watchdog(args),
+        lambda: _with_telemetry(
+            args,
+            lambda: run_sweep(
+                ids,
+                fast=not args.full,
+                jobs=jobs,
+                cache_dir=args.cache_dir,
+                metrics=registry,
+                journal_dir=args.journal_dir,
+                resume=resume,
+                watchdog=_resolve_watchdog(args),
+            ),
         ),
     )
     if args.json:
@@ -253,6 +288,99 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     if args.telemetry:
         print(f"telemetry written to {args.telemetry}", file=out)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import write_chrome_trace, write_prometheus
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace_spans import Tracer, trace_capture
+
+    ids = args.ids or sorted(EXPERIMENTS)
+    unknown = [exp_id for exp_id in ids if exp_id not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    jobs = _resolve_jobs(args)
+    registry = MetricsRegistry()
+    with trace_capture(Tracer(label=f"trace:{','.join(ids)}")) as tracer:
+        tables = _with_telemetry(
+            args,
+            lambda: run_sweep(
+                ids, fast=not args.full, jobs=jobs, cache_dir=args.cache_dir,
+                metrics=registry,
+            ),
+        )
+    events = write_chrome_trace(args.out, tracer)
+    print(f"trace {tracer.trace_id}: {events} event(s) written to {args.out}")
+    for exp_id, table in tables.items():
+        print(f"  {exp_id}: {len(table.x_values)} point(s)")
+    if args.prometheus:
+        write_prometheus(args.prometheus, registry)
+        print(f"metrics written to {args.prometheus}")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as bench_ledger
+
+    if args.repeat is not None and args.repeat < 1:
+        print(f"--repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 2
+    threshold = args.threshold
+    if threshold is None:
+        raw = os.environ.get("REPRO_BENCH_THRESHOLD", "")
+        try:
+            threshold = float(raw) if raw else bench_ledger.DEFAULT_THRESHOLD
+        except ValueError:
+            print(f"bad REPRO_BENCH_THRESHOLD value {raw!r}", file=sys.stderr)
+            return 2
+    if threshold <= 1.0:
+        print(f"--threshold must be > 1.0, got {threshold:g}", file=sys.stderr)
+        return 2
+    quick = not args.full
+    path = bench_ledger.ledger_path(args.ledger_dir)
+    try:
+        book = bench_ledger.load_ledger(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mode = "quick" if quick else "full"
+    print(
+        f"bench ({mode}): {len(bench_ledger.BENCHMARK_NAMES)} benchmark(s), "
+        f"host class {bench_ledger.host_class()}"
+    )
+    entry = bench_ledger.run_benchmark_suite(quick=quick, repeat=args.repeat)
+    for name, res in entry["benchmarks"].items():
+        extra = ""
+        cache = res.get("cache")
+        if cache:
+            extra = f"   cache hit ratio {cache['hit_ratio']:.2f}"
+        print(f"  {name:<22} {res['wall_seconds'] * 1e3:9.3f} ms{extra}")
+    previous = bench_ledger.latest_entry(book, quick=quick)
+    regressions = bench_ledger.compare_entries(previous, entry, threshold=threshold)
+    if args.dry_run:
+        print("dry run: ledger not written")
+    else:
+        book["entries"].append(entry)
+        bench_ledger.save_ledger(path, book)
+        print(f"ledger: {path} ({len(book['entries'])} entr(ies))")
+    if previous is None:
+        print(f"no {mode}-mode baseline for this host class: seeding the trajectory")
+        return 0
+    if regressions:
+        print(
+            f"REGRESSION: {len(regressions)} benchmark(s) slowed beyond "
+            f"{threshold:g}x vs {previous['recorded_at']}:",
+            file=sys.stderr,
+        )
+        for reg in regressions:
+            print(f"  {reg}", file=sys.stderr)
+        return 1
+    print(f"no regressions vs {previous['recorded_at']} (threshold {threshold:g}x)")
     return 0
 
 
@@ -360,12 +488,70 @@ def _format_metric(name: str, snap: dict) -> str:
     return f"  {name}: {snap}"
 
 
+def _stats_from_file(args: argparse.Namespace) -> int:
+    """``stats --from PATH``: summarize an exported telemetry file.
+
+    Per the exit-code contract, a missing or corrupt file is an
+    argument-level error: clean one-line message, exit 2, no traceback.
+    """
+    import json as _json
+
+    from repro.obs.sink import read_jsonl
+
+    path = args.from_path
+    try:
+        records = read_jsonl(path)
+    except OSError as exc:
+        print(f"error: cannot read telemetry file {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: corrupt telemetry file {path}: {exc}", file=sys.stderr)
+        return 2
+    kinds: dict[str, int] = {}
+    traces: set[str] = set()
+    wall = 0.0
+    events = 0
+    for rec in records:
+        kinds[rec.kind] = kinds.get(rec.kind, 0) + 1
+        wall += rec.wall_seconds
+        events += rec.events or 0
+        if rec.trace_id:
+            traces.add(rec.trace_id)
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "path": str(path),
+                    "records": len(records),
+                    "kinds": dict(sorted(kinds.items())),
+                    "wall_seconds": wall,
+                    "events": events,
+                    "trace_ids": sorted(traces),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"telemetry {path}: {len(records)} record(s)")
+    for kind, count in sorted(kinds.items()):
+        print(f"  {kind}: {count}")
+    print(f"  wall: {wall:.4f} s total   events: {events}")
+    if traces:
+        print(f"  trace id(s): {', '.join(sorted(traces))}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.probes import default_probes, probe_summaries
     from repro.obs.rollup import channel_rollup
     from repro.obs.sink import JsonlSink, capture
 
+    if args.from_path is not None:
+        return _stats_from_file(args)
+    if args.n is None or args.destinations is None:
+        print("stats: -n and -d/--destinations are required (unless --from)", file=sys.stderr)
+        return 2
     alg = get_algorithm(args.algorithm)
     dests = _parse_dests(args.destinations)
     order = ResolutionOrder.ASCENDING if args.ascending else ResolutionOrder.DESCENDING
@@ -575,6 +761,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", default=None, metavar="PATH",
         help="export one RunRecord JSON line per figure point to PATH",
     )
+    p_exp.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON sidecar of the run to PATH",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_sweep = sub.add_parser(
@@ -624,7 +814,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--hard-timeout-s", type=float, default=None, metavar="S",
         help="watchdog hard per-point timeout: kill + requeue (implies --watchdog)",
     )
+    p_sweep.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON sidecar of the sweep to PATH",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser(
+        "trace", help="run experiments under the span tracer and export the timeline"
+    )
+    p_trace.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment ids (default: every registered experiment)",
+    )
+    p_trace.add_argument(
+        "-o", "--out", default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="also dump the metrics registry in Prometheus text format",
+    )
+    p_trace.add_argument("--full", action="store_true", help="paper-parity parameters")
+    p_trace.add_argument(
+        "--parallel", action="store_true",
+        help="fan points across worker processes (CPU count / REPRO_JOBS)",
+    )
+    p_trace.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker process count (implies --parallel; 1 = serial)",
+    )
+    p_trace.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed schedule/delay cache shared across runs and workers",
+    )
+    p_trace.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="export merged RunRecord JSON lines (workers included) to PATH",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the benchmark suite against the committed ledger"
+    )
+    bench_mode = p_bench.add_mutually_exclusive_group()
+    bench_mode.add_argument(
+        "--quick", action="store_true", help="thinned workloads (the default)"
+    )
+    bench_mode.add_argument("--full", action="store_true", help="full workloads")
+    p_bench.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="timed repeats per benchmark, best-of (default: 3 quick / 5 full)",
+    )
+    p_bench.add_argument(
+        "--ledger-dir", default="benchmarks", metavar="PATH",
+        help="directory holding BENCH_<host-class>.json (default: benchmarks)",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None, metavar="X",
+        help="regression threshold, new > previous * X fails "
+             "(default: 1.5, or REPRO_BENCH_THRESHOLD)",
+    )
+    p_bench.add_argument(
+        "--dry-run", action="store_true",
+        help="compare against the ledger without appending to it",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser(
         "cache", help="inspect and maintain a schedule-cache directory"
@@ -679,10 +934,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser(
         "stats", help="replay one multicast with full instrumentation"
     )
-    p_stats.add_argument("-n", type=int, required=True, help="cube dimension")
+    p_stats.add_argument("-n", type=int, default=None, help="cube dimension")
     p_stats.add_argument("-s", "--source", type=int, default=0)
     p_stats.add_argument(
-        "-d", "--destinations", required=True, help="e.g. '1,3,5' or '0b101 7'"
+        "-d", "--destinations", default=None, help="e.g. '1,3,5' or '0b101 7'"
+    )
+    p_stats.add_argument(
+        "--from", dest="from_path", default=None, metavar="PATH",
+        help="summarize an exported telemetry JSONL file instead of running",
     )
     p_stats.add_argument("-a", "--algorithm", default="wsort", choices=sorted(ALGORITHMS))
     p_stats.add_argument("-p", "--ports", default="all", help="'one', 'all', or k")

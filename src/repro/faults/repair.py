@@ -32,6 +32,7 @@ from repro.faults.degraded import DegradedHypercube
 from repro.multicast.base import MulticastAlgorithm, MulticastTree, Schedule
 from repro.multicast.ports import ALL_PORT, PortModel
 from repro.multicast.registry import get_algorithm
+from repro.obs import trace_spans
 
 __all__ = ["FaultAware", "Repair", "RepairReport", "repair_multicast", "verify_degraded"]
 
@@ -88,6 +89,21 @@ def repair_multicast(
             router is dead (no repair can originate anywhere).
     """
     alg = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+    with trace_spans.span("repair.multicast", algorithm=alg.name, n=n) as _sp:
+        report = _repair_multicast(alg, degraded, n, source, destinations, order)
+        if _sp is not None:
+            _sp.set(repairs=len(report.repairs), unreachable=len(report.unreachable))
+        return report
+
+
+def _repair_multicast(
+    alg: MulticastAlgorithm,
+    degraded: DegradedHypercube,
+    n: int,
+    source: int,
+    destinations: Sequence[int],
+    order: ResolutionOrder,
+) -> RepairReport:
     if degraded.n != n:
         raise ValueError(f"degraded view is for a {degraded.n}-cube, not an {n}-cube")
     if not degraded.is_node_alive(source):
@@ -205,6 +221,18 @@ def verify_degraded(
     reported as warnings, not errors: the simulator tolerates them and
     forwards only on first receipt.
     """
+    with trace_spans.span(
+        "verify.degraded", n=report.tree.n, sends=len(report.tree.sends)
+    ) as sp:
+        result = _verify_degraded(report, ports)
+        if sp is not None:
+            sp.set(ok=result.ok, errors=len(result.errors))
+        return result
+
+
+def _verify_degraded(
+    report: RepairReport, ports: PortModel
+) -> FaultVerificationResult:
     tree = report.tree
     degraded = report.degraded
     errors: list[str] = []

@@ -13,6 +13,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Hashable, Sequence
 
+from repro.obs import trace_spans
+
 __all__ = ["greedy_steps"]
 
 
@@ -41,6 +43,19 @@ def greedy_steps(
     Raises:
         ValueError: if some send's source never receives the message.
     """
+    with trace_spans.span("schedule.greedy", sends=len(sends), limit=limit) as sp:
+        steps = _greedy_steps(source, sends, arcs_of, limit)
+        if sp is not None:
+            sp.set(max_step=max(steps.values(), default=0))
+        return steps
+
+
+def _greedy_steps(
+    source: int,
+    sends: Sequence[tuple[int, int, int]],
+    arcs_of: Callable[[int, int], Sequence[Hashable]],
+    limit: int,
+) -> dict[int, int]:
     by_sender: dict[int, list[tuple[int, int, int]]] = {}
     for rec in sends:
         by_sender.setdefault(rec[1], []).append(rec)

@@ -31,6 +31,7 @@ from repro.core.contention import ContentionReport, Unicast, check_contention_fr
 from repro.core.paths import ResolutionOrder, ecube_arcs
 from repro.multicast._scheduling import greedy_steps
 from repro.multicast.ports import ALL_PORT, PortModel
+from repro.obs import trace_spans
 
 __all__ = ["MulticastAlgorithm", "MulticastTree", "Schedule", "Send"]
 
@@ -206,7 +207,13 @@ class Schedule:
 
     def check_contention(self) -> ContentionReport:
         """Independently verify Definition 4 on this schedule."""
-        return check_contention_free(self.tree.source, self.unicasts, self.tree.order)
+        with trace_spans.span(
+            "verify.contention", n=self.tree.n, sends=len(self.tree.sends)
+        ) as sp:
+            report = check_contention_free(self.tree.source, self.unicasts, self.tree.order)
+            if sp is not None:
+                sp.set(ok=report.ok)
+            return report
 
 
 class MulticastAlgorithm(ABC):

@@ -6,14 +6,16 @@ short names used in the paper's figure legends.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.multicast.base import MulticastAlgorithm
+from repro.core.paths import ResolutionOrder
+from repro.multicast.base import MulticastAlgorithm, MulticastTree
 from repro.multicast.combine import Combine
 from repro.multicast.maxport import Maxport, MaxportSubcube
 from repro.multicast.naive import DimensionalSAF, SeparateAddressing
 from repro.multicast.ucube import UCube
 from repro.multicast.wsort import WSort
+from repro.obs import trace_spans
 
 __all__ = ["ALGORITHMS", "PAPER_ALGORITHMS", "get_algorithm", "register"]
 
@@ -33,8 +35,45 @@ ALGORITHMS: dict[str, Callable[[], MulticastAlgorithm]] = {
 PAPER_ALGORITHMS: tuple[str, ...] = ("ucube", "maxport", "combine", "wsort")
 
 
+class _TracedAlgorithm(MulticastAlgorithm):
+    """Span-recording proxy around a registry algorithm.
+
+    Installed by :func:`get_algorithm` only while a tracer is active, so
+    every traced run gets a ``schedule.build`` span per tree (with the
+    greedy scheduler's ``schedule.greedy`` span nesting underneath when
+    the tree is scheduled) and an untraced run constructs the exact same
+    object graph as before tracing existed.
+    """
+
+    def __init__(self, inner: MulticastAlgorithm) -> None:
+        self._inner = inner
+        self.name = inner.name
+
+    def build_tree(
+        self,
+        n: int,
+        source: int,
+        destinations: Sequence[int],
+        order: ResolutionOrder = ResolutionOrder.DESCENDING,
+    ) -> MulticastTree:
+        dests = list(destinations)
+        with trace_spans.span(
+            "schedule.build", algorithm=self.name, n=n, m=len(dests)
+        ):
+            return self._inner.build_tree(n, source, dests, order)
+
+    def __getattr__(self, attr: str):
+        # forward algorithm-specific state (e.g. FaultAware.last_report)
+        return getattr(self._inner, attr)
+
+
 def get_algorithm(name: str) -> MulticastAlgorithm:
     """Instantiate an algorithm by registry name.
+
+    While a tracer is installed (see :mod:`repro.obs.trace_spans`), the
+    instance is wrapped so each ``build_tree`` records a
+    ``schedule.build`` span; otherwise the factory's object is returned
+    untouched.
 
     Raises:
         KeyError: with the list of known names, if ``name`` is unknown.
@@ -44,7 +83,10 @@ def get_algorithm(name: str) -> MulticastAlgorithm:
     except KeyError:
         known = ", ".join(sorted(ALGORITHMS))
         raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
-    return factory()
+    alg = factory()
+    if trace_spans.get_tracer() is not None:
+        return _TracedAlgorithm(alg)
+    return alg
 
 
 def register(

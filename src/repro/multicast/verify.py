@@ -13,6 +13,7 @@ from typing import Sequence
 from repro.core.paths import ResolutionOrder
 from repro.multicast.base import MulticastAlgorithm, MulticastTree, Schedule
 from repro.multicast.ports import ALL_PORT, PortModel
+from repro.obs import trace_spans
 
 __all__ = ["VerificationResult", "verify_multicast", "verify_tree"]
 
@@ -74,10 +75,15 @@ def verify_multicast(
     Checks tree structure (see :func:`verify_tree`) and that the greedy
     schedule is contention-free per Definition 4.
     """
-    tree = algorithm.build_tree(n, source, destinations, order)
-    errors = verify_tree(tree, allow_relays=allow_relays)
-    schedule = tree.schedule(ports)
-    report = schedule.check_contention()
-    if not report.ok:
-        errors.append(report.summary())
-    return VerificationResult(ok=not errors, errors=errors, schedule=schedule)
+    with trace_spans.span(
+        "verify.multicast", algorithm=algorithm.name, n=n, m=len(destinations)
+    ) as sp:
+        tree = algorithm.build_tree(n, source, destinations, order)
+        errors = verify_tree(tree, allow_relays=allow_relays)
+        schedule = tree.schedule(ports)
+        report = schedule.check_contention()
+        if not report.ok:
+            errors.append(report.summary())
+        if sp is not None:
+            sp.set(ok=not errors, errors=len(errors))
+        return VerificationResult(ok=not errors, errors=errors, schedule=schedule)

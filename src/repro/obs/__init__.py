@@ -14,12 +14,21 @@ through (docs/OBSERVABILITY.md documents schemas and metric names):
   wall time, peak heap depth, cancellation rate);
 - :mod:`repro.obs.rollup` -- channel-level aggregates (hotspot arcs,
   utilization histogram, per-dimension busy/blocked time) from a
-  :class:`~repro.simulator.trace.ChannelTrace`.
+  :class:`~repro.simulator.trace.ChannelTrace`;
+- :mod:`repro.obs.trace_spans` -- opt-in hierarchical span tracing
+  (schedule-build / verify / simulate / cache / journal timelines) with
+  worker-snapshot replay for the parallel sweep engine;
+- :mod:`repro.obs.exporters` -- Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and Prometheus text-format exporters;
+- :mod:`repro.obs.ledger` -- the committed ``BENCH_<host-class>.json``
+  benchmark trajectory with regression gating (``repro-hypercube
+  bench``).
 
 The package is dependency-free (stdlib only, no imports from the
-simulator), and every integration point is opt-in: with no registry, no
-probes, and no sink configured, an instrumented code path performs the
-same operations it did before this layer existed.
+simulator; the ledger defers its benchmark-workload imports into the
+run), and every integration point is opt-in: with no registry, no
+probes, no sink, and no tracer configured, an instrumented code path
+performs the same operations it did before this layer existed.
 """
 
 from repro.obs.metrics import (
@@ -45,8 +54,39 @@ from repro.obs.rollup import (
     per_dimension_busy_time,
     utilization_histogram,
 )
+from repro.obs.exporters import (
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    Regression,
+    compare_entries,
+    env_fingerprint,
+    host_class,
+    latest_entry,
+    ledger_path,
+    load_ledger,
+    run_benchmark_suite,
+    save_ledger,
+)
 from repro.obs.sink import JsonlSink, MemorySink, TelemetrySink, capture, configure, get_sink
 from repro.obs.telemetry import RunRecord, new_run_id, summarize_delays
+from repro.obs.trace_spans import (
+    Span,
+    Tracer,
+    configure_tracing,
+    current_span,
+    current_trace_id,
+    derive_trace_id,
+    get_tracer,
+    instant,
+    phase_rollup,
+    span,
+    trace_capture,
+)
 
 __all__ = [
     "CallbackTimeProbe",
@@ -56,23 +96,48 @@ __all__ = [
     "HeapDepthProbe",
     "Histogram",
     "JsonlSink",
+    "LEDGER_SCHEMA",
     "MemorySink",
     "MetricsRegistry",
     "Probe",
+    "Regression",
     "RunRecord",
+    "Span",
     "TelemetrySink",
     "Timer",
+    "Tracer",
     "capture",
     "channel_rollup",
+    "compare_entries",
     "configure",
+    "configure_tracing",
+    "current_span",
+    "current_trace_id",
     "default_probes",
+    "derive_trace_id",
+    "env_fingerprint",
     "get_sink",
+    "get_tracer",
+    "host_class",
     "hotspot_arcs",
+    "instant",
+    "latest_entry",
+    "ledger_path",
+    "load_ledger",
     "merge_snapshot",
     "new_run_id",
     "per_dimension_blocked_time",
     "per_dimension_busy_time",
+    "phase_rollup",
     "probe_summaries",
+    "run_benchmark_suite",
+    "save_ledger",
+    "span",
     "summarize_delays",
+    "to_chrome_trace",
+    "to_prometheus",
+    "trace_capture",
     "utilization_histogram",
+    "write_chrome_trace",
+    "write_prometheus",
 ]

@@ -1,0 +1,175 @@
+"""Trace and metrics exporters: Chrome trace-event JSON and Prometheus text.
+
+Two output formats, both consumed by standard external tooling:
+
+* :func:`to_chrome_trace` renders a :class:`~repro.obs.trace_spans.Tracer`
+  (or a list of spans) as Chrome trace-event JSON — the ``traceEvents``
+  object format loadable in Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing``.  Finished spans become complete (``ph: "X"``)
+  events with microsecond ``ts``/``dur``; unfinished (partial) spans and
+  zero-duration instants become instant (``ph: "i"``) events.
+
+* :func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot
+  <repro.obs.metrics.MetricsRegistry.snapshot>` in the Prometheus text
+  exposition format: counters and gauges verbatim, timers as summaries
+  (``_seconds_sum`` / ``_seconds_count``), histograms with cumulative
+  ``_bucket{le=...}`` series plus the mandatory ``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .metrics import MetricsRegistry
+from .trace_spans import Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _span_dicts(source: Tracer | Iterable[Span | Mapping[str, Any]]) -> list[dict]:
+    if isinstance(source, Tracer):
+        return source.snapshot()["spans"]
+    out = []
+    for s in source:
+        out.append(s.to_dict() if isinstance(s, Span) else dict(s))
+    return out
+
+
+def to_chrome_trace(
+    source: Tracer | Iterable[Span | Mapping[str, Any]],
+    trace_id: str | None = None,
+) -> dict[str, Any]:
+    """Render spans as a Chrome trace-event JSON object.
+
+    Accepts a :class:`Tracer`, a list of :class:`Span`, or a list of
+    span dicts (e.g. a worker snapshot's ``spans``).  Returns the
+    ``{"traceEvents": [...]}`` object format so metadata can ride along.
+    """
+    spans = _span_dicts(source)
+    if trace_id is None and isinstance(source, Tracer):
+        trace_id = source.trace_id
+    events: list[dict[str, Any]] = []
+    for d in spans:
+        args = dict(d.get("attrs") or {})
+        args["span_id"] = d.get("span_id")
+        if d.get("parent_id"):
+            args["parent_id"] = d["parent_id"]
+        base = {
+            "name": d.get("name", "?"),
+            "cat": str(d.get("name", "?")).split(".", 1)[0],
+            "pid": int(d.get("pid", 0) or 0),
+            "tid": int(d.get("tid", 0) or 0),
+            "ts": float(d.get("start_us", 0.0)),
+            "args": args,
+        }
+        end = d.get("end_us")
+        start = float(d.get("start_us", 0.0))
+        if end is None or float(end) <= start:
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+            if end is None:
+                base["args"]["partial"] = True
+        else:
+            base["ph"] = "X"
+            base["dur"] = float(end) - start
+        events.append(base)
+    out: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if trace_id is not None:
+        out["otherData"] = {"trace_id": trace_id}
+    return out
+
+
+def write_chrome_trace(
+    path: str | Path,
+    source: Tracer | Iterable[Span | Mapping[str, Any]],
+    trace_id: str | None = None,
+) -> int:
+    """Write Chrome trace JSON to ``path``; returns the event count."""
+    doc = to_chrome_trace(source, trace_id=trace_id)
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return len(doc["traceEvents"])
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(
+    snapshot: MetricsRegistry | Mapping[str, Mapping[str, Any]],
+    prefix: str = "repro",
+) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format."""
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("type")
+        metric = _metric_name(name, prefix)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_fmt(float(snap['value']))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(float(snap['value']))}")
+            lines.append(f"{metric}_min {_fmt(float(snap['min']))}")
+            lines.append(f"{metric}_max {_fmt(float(snap['max']))}")
+        elif kind == "timer":
+            base = f"{metric}_seconds"
+            lines.append(f"# TYPE {base} summary")
+            lines.append(f"{base}_sum {_fmt(float(snap['total_seconds']))}")
+            lines.append(f"{base}_count {_fmt(int(snap['count']))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(snap["bounds"], snap["counts"]):
+                cumulative += int(count)
+                lines.append(f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}')
+            cumulative += int(snap["overflow"])
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_fmt(float(snap['sum']))}")
+            lines.append(f"{metric}_count {_fmt(int(snap['count']))}")
+        else:
+            raise ValueError(f"cannot export unknown instrument type {kind!r} for {name!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    path: str | Path,
+    snapshot: MetricsRegistry | Mapping[str, Mapping[str, Any]],
+    prefix: str = "repro",
+) -> int:
+    """Write Prometheus text format to ``path``; returns the line count."""
+    text = to_prometheus(snapshot, prefix=prefix)
+    Path(path).write_text(text)
+    return text.count("\n")

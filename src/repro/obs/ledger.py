@@ -1,0 +1,351 @@
+"""The committed benchmark ledger: a perf trajectory with regression gating.
+
+``repro-hypercube bench`` runs a curated benchmark set over the repo's
+hot paths — tree construction, greedy step scheduling, weighted_sort,
+Definition-4 verification, the event simulator, and a cached fig11-style
+sweep point — and appends one schema-versioned entry to
+``benchmarks/BENCH_<host-class>.json``.  Each entry records per-benchmark
+wall time (best of ``repeat`` untraced fixed-iteration batches — batches
+are sized to ~10 ms so the numbers are stable), a span-phase breakdown
+from one traced run, the sweep benchmark's cache hit ratio, and an
+environment fingerprint.  Entries accumulate into a committed
+trajectory; :func:`compare_entries` gates new entries against the
+previous one with a configurable regression threshold so CI (and the
+future array-native kernel work) can fail fast on a slowdown.
+
+Ledgers are keyed by *host class* (``os-machine-implementation-x.y``):
+numbers from different machines or interpreters are never compared, and
+a host class with no committed baseline simply seeds a new trajectory.
+
+All heavyweight imports (multicast, simulator, parallel) are deferred
+into the benchmark bodies so :mod:`repro.obs` stays import-light.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .trace_spans import Tracer, phase_rollup, trace_capture
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "LEDGER_SCHEMA",
+    "Regression",
+    "compare_entries",
+    "env_fingerprint",
+    "host_class",
+    "latest_entry",
+    "ledger_path",
+    "load_ledger",
+    "run_benchmark_suite",
+    "save_ledger",
+]
+
+LEDGER_SCHEMA = 1
+
+#: Regression threshold: a benchmark regresses when its new wall time
+#: exceeds ``previous * threshold``.  Overridable per run (CLI flag or
+#: ``REPRO_BENCH_THRESHOLD``).
+DEFAULT_THRESHOLD = 1.5
+
+#: Ignore regressions smaller than this absolute delta (seconds).
+#: Timed runs are fixed-iteration batches sized to ~10 ms precisely so
+#: that a real threshold-sized slowdown clears this jitter floor.
+MIN_DELTA_SECONDS = 0.002
+
+
+def host_class() -> str:
+    """A stable key for "numbers comparable to these": e.g.
+    ``linux-x86_64-cpython-3.11``."""
+    return "-".join(
+        [
+            platform.system().lower(),
+            platform.machine().lower(),
+            platform.python_implementation().lower(),
+            f"{sys.version_info.major}.{sys.version_info.minor}",
+        ]
+    )
+
+
+def env_fingerprint() -> dict[str, Any]:
+    """Environment details recorded alongside every ledger entry."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def ledger_path(ledger_dir: str | os.PathLike, host: str | None = None) -> Path:
+    return Path(ledger_dir) / f"BENCH_{host or host_class()}.json"
+
+
+# -- the curated benchmark set -----------------------------------------
+#
+# Each benchmark returns ``(fn, params, finalize)``: ``fn()`` is one
+# iteration of the timed body, ``params`` documents the workload
+# (including ``iters``, the fixed batch size one wall_seconds sample
+# covers — batches are sized to ~10 ms so best-of-``repeat`` timing is
+# stable against scheduler jitter), and ``finalize()`` (optional)
+# returns extra payload such as the cache hit ratio.
+
+
+def _bench_build_tree(algorithm: str, quick: bool):
+    from repro.analysis.workloads import random_destination_sets
+    from repro.multicast.registry import get_algorithm
+
+    n, m, iters = (8, 128, 25) if quick else (10, 512, 6)
+    dests = random_destination_sets(n, m, 1, seed=5)[0]
+    alg = get_algorithm(algorithm)
+    return lambda: alg.build_tree(n, 0, dests), {"n": n, "m": m, "iters": iters}, None
+
+
+def _bench_schedule(quick: bool):
+    from repro.analysis.workloads import random_destination_sets
+    from repro.multicast import ALL_PORT
+    from repro.multicast.registry import get_algorithm
+
+    n, m, iters = (8, 128, 20) if quick else (10, 512, 5)
+    dests = random_destination_sets(n, m, 1, seed=5)[0]
+    tree = get_algorithm("wsort").build_tree(n, 0, dests)
+    return lambda: tree.schedule(ALL_PORT), {"n": n, "m": m, "iters": iters}, None
+
+
+def _bench_weighted_sort(quick: bool):
+    from repro.analysis.workloads import random_destination_sets
+    from repro.core.chains import relative_chain
+    from repro.multicast.wsort import weighted_sort
+
+    n, m, iters = (8, 128, 60) if quick else (10, 512, 15)
+    chain = relative_chain(0, random_destination_sets(n, m, 1, seed=5)[0])
+    return lambda: weighted_sort(chain, n), {"n": n, "m": m, "iters": iters}, None
+
+
+def _bench_verify(quick: bool):
+    from repro.analysis.workloads import random_destination_sets
+    from repro.multicast import ALL_PORT
+    from repro.multicast.registry import get_algorithm
+
+    n, m, iters = (6, 32, 60) if quick else (8, 128, 15)
+    dests = random_destination_sets(n, m, 1, seed=7)[0]
+    sched = get_algorithm("wsort").build_tree(n, 0, dests).schedule(ALL_PORT)
+    return lambda: sched.check_contention(), {"n": n, "m": m, "iters": iters}, None
+
+
+def _bench_simulate(quick: bool):
+    from repro.analysis.workloads import random_destination_sets
+    from repro.multicast import ALL_PORT
+    from repro.multicast.registry import get_algorithm
+    from repro.simulator import NCUBE2, simulate_multicast
+
+    n, m, iters = (6, 32, 15) if quick else (8, 128, 4)
+    dests = random_destination_sets(n, m, 1, seed=9)[0]
+    tree = get_algorithm("wsort").build_tree(n, 0, dests)
+    return (
+        lambda: simulate_multicast(tree, 4096, NCUBE2, ALL_PORT),
+        {"n": n, "m": m, "size": 4096, "iters": iters},
+        None,
+    )
+
+
+def _bench_sweep_point(quick: bool):
+    """A cached fig11-style point set: cold pass then warm pass.
+
+    Exercises the whole per-point stack (build → simulate → cache) and
+    reports the cache hit ratio, which the ledger tracks alongside wall
+    time.
+    """
+    from repro.analysis.workloads import random_destination_sets
+    from repro.multicast import ALL_PORT
+    from repro.parallel.cache import ScheduleCache, activate_cache, cached_delay_stats
+    from repro.simulator import NCUBE2
+
+    n, m, sets, iters = (6, 16, 4, 40) if quick else (8, 64, 8, 10)
+    workloads = random_destination_sets(n, m, sets, seed=11)
+    cache = ScheduleCache()
+
+    def run() -> None:
+        previous = activate_cache(cache)
+        try:
+            for _ in range(2):  # cold pass misses, warm pass hits
+                for dests in workloads:
+                    cached_delay_stats("wsort", n, 0, dests, 4096, NCUBE2, ALL_PORT)
+        finally:
+            activate_cache(previous)
+
+    def finalize() -> dict[str, Any]:
+        stats = cache.stats()
+        lookups = stats["hits"] + stats["misses"]
+        return {
+            "cache": {
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "hit_ratio": stats["hits"] / lookups if lookups else 0.0,
+            }
+        }
+
+    return run, {"n": n, "m": m, "sets": sets, "size": 4096, "iters": iters}, finalize
+
+
+_BENCHMARKS: dict[str, Callable[[bool], tuple]] = {
+    "build-tree/ucube": lambda quick: _bench_build_tree("ucube", quick),
+    "build-tree/wsort": lambda quick: _bench_build_tree("wsort", quick),
+    "schedule/wsort": _bench_schedule,
+    "weighted-sort": _bench_weighted_sort,
+    "verify/contention": _bench_verify,
+    "simulate/wsort": _bench_simulate,
+    "sweep/fig11-point": _bench_sweep_point,
+}
+
+BENCHMARK_NAMES: tuple[str, ...] = tuple(_BENCHMARKS)
+
+
+def _run_one(name: str, quick: bool, repeat: int) -> dict[str, Any]:
+    # set up under a throwaway tracer: resolution-time decisions (the
+    # registry wrapping algorithms in traced proxies) must see tracing
+    # active so the later traced run yields its phase breakdown.  The
+    # setup tracer itself is discarded — setup cost is not a phase.
+    with trace_capture(Tracer(label=f"bench:{name}:setup")):
+        fn, params, finalize = _BENCHMARKS[name](quick)
+    iters = int(params.get("iters", 1))
+    fn()  # warm-up (also primes the sweep benchmark's cache stats once)
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    # one extra traced run for the phase breakdown; kept out of the
+    # timed repeats so tracing overhead never shows up in wall_seconds
+    with trace_capture(Tracer(label=f"bench:{name}")) as tracer:
+        fn()
+    phases = {
+        span_name: round(agg["total_us"], 3)
+        for span_name, agg in sorted(phase_rollup(tracer.spans).items())
+    }
+    result: dict[str, Any] = {
+        "wall_seconds": round(best, 6),
+        "repeat": repeat,
+        "params": params,
+        "phases": phases,
+    }
+    if finalize is not None:
+        result.update(finalize())
+    return result
+
+
+def run_benchmark_suite(
+    quick: bool = True,
+    repeat: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the curated set; returns one ledger entry (JSON-safe dict)."""
+    if repeat is None:
+        repeat = 3 if quick else 5
+    benchmarks: dict[str, Any] = {}
+    for name in BENCHMARK_NAMES:
+        if progress is not None:
+            progress(name)
+        benchmarks[name] = _run_one(name, quick, repeat)
+    return {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "env": env_fingerprint(),
+        "benchmarks": benchmarks,
+    }
+
+
+# -- ledger file -------------------------------------------------------
+
+
+def load_ledger(path: str | os.PathLike, host: str | None = None) -> dict[str, Any]:
+    """Load a ledger file, or a fresh empty ledger when absent.
+
+    Raises:
+        ValueError: on a corrupt file or a schema from the future.
+    """
+    p = Path(path)
+    if not p.exists():
+        return {"schema": LEDGER_SCHEMA, "host_class": host or host_class(), "entries": []}
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(f"corrupt benchmark ledger {p}: {exc}") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("entries"), list):
+        raise ValueError(f"corrupt benchmark ledger {p}: not a ledger object")
+    if doc.get("schema") != LEDGER_SCHEMA:
+        raise ValueError(
+            f"benchmark ledger {p} has schema {doc.get('schema')!r}, expected {LEDGER_SCHEMA}"
+        )
+    return doc
+
+
+def save_ledger(path: str | os.PathLike, ledger: Mapping[str, Any]) -> None:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(ledger, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def latest_entry(
+    ledger: Mapping[str, Any], quick: bool | None = None
+) -> dict[str, Any] | None:
+    """The most recent entry, optionally restricted to the same mode
+    (quick entries are never compared against full ones)."""
+    for entry in reversed(ledger.get("entries", [])):
+        if quick is None or bool(entry.get("quick")) == quick:
+            return entry
+    return None
+
+
+@dataclass(slots=True)
+class Regression:
+    """One benchmark that slowed past the threshold."""
+
+    name: str
+    before_seconds: float
+    after_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        return self.after_seconds / self.before_seconds if self.before_seconds else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.before_seconds * 1e3:.2f} ms -> "
+            f"{self.after_seconds * 1e3:.2f} ms ({self.ratio:.2f}x)"
+        )
+
+
+def compare_entries(
+    previous: Mapping[str, Any] | None,
+    new: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta_seconds: float = MIN_DELTA_SECONDS,
+) -> list[Regression]:
+    """Benchmarks in ``new`` that regressed beyond ``threshold`` vs
+    ``previous``.  No baseline (or no shared benchmarks) → no
+    regressions: a new host class seeds its trajectory cleanly."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if previous is None:
+        return []
+    regressions: list[Regression] = []
+    before_set = previous.get("benchmarks", {})
+    for name, after in new.get("benchmarks", {}).items():
+        before = before_set.get(name)
+        if before is None:
+            continue
+        b = float(before["wall_seconds"])
+        a = float(after["wall_seconds"])
+        if a > b * threshold and (a - b) > min_delta_seconds:
+            regressions.append(Regression(name, b, a))
+    return regressions

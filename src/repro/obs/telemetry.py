@@ -25,7 +25,13 @@ from typing import Mapping
 __all__ = ["RunRecord", "new_run_id", "summarize_delays"]
 
 #: Envelope schema version; bump on incompatible field changes.
-SCHEMA_VERSION = 1
+#: v2 adds the optional ``trace_id`` field so JSONL telemetry can be
+#: joined against span-trace exports; the loader accepts v1 and v2.
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`RunRecord.from_dict` accepts.  v1 records
+#: simply have no ``trace_id``.
+ACCEPTED_SCHEMAS = frozenset({1, 2})
 
 
 def new_run_id() -> str:
@@ -71,6 +77,9 @@ class RunRecord:
         metrics: a :meth:`MetricsRegistry.snapshot` (possibly empty).
         extra: kind-specific payload (delay summaries, figure columns,
             probe summaries, channel rollups, ...).
+        trace_id: id of the span trace active when the run was recorded
+            (see :mod:`repro.obs.trace_spans`), or ``None``; joins this
+            record to its Chrome-trace export.
     """
 
     run_id: str
@@ -86,6 +95,7 @@ class RunRecord:
     events: int | None = None
     metrics: dict[str, dict] = field(default_factory=dict)
     extra: dict[str, object] = field(default_factory=dict)
+    trace_id: str | None = None
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -103,6 +113,7 @@ class RunRecord:
             "events": self.events,
             "metrics": self.metrics,
             "extra": self.extra,
+            "trace_id": self.trace_id,
         }
 
     def to_json(self) -> str:
@@ -112,7 +123,7 @@ class RunRecord:
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunRecord":
         schema = data.get("schema", SCHEMA_VERSION)
-        if schema != SCHEMA_VERSION:
+        if schema not in ACCEPTED_SCHEMAS:
             raise ValueError(f"unsupported RunRecord schema {schema!r}")
         for key in ("run_id", "kind", "n"):
             if key not in data:
@@ -131,6 +142,7 @@ class RunRecord:
             events=data.get("events"),  # type: ignore[arg-type]
             metrics=dict(data.get("metrics") or {}),  # type: ignore[arg-type]
             extra=dict(data.get("extra") or {}),  # type: ignore[arg-type]
+            trace_id=data.get("trace_id"),  # type: ignore[arg-type]
         )
 
     @classmethod

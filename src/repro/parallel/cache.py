@@ -47,6 +47,7 @@ from typing import Iterable
 
 from repro.core.paths import ResolutionOrder
 from repro.multicast.ports import PortModel
+from repro.obs import trace_spans
 from repro.obs.metrics import MetricsRegistry
 from repro.simulator.params import Timings
 
@@ -198,16 +199,19 @@ class ScheduleCache:
             return value
         if self.cache_dir is not None:
             path = self._disk_path(key)
-            try:
-                with open(path, "r", encoding="utf-8") as f:
-                    text = f.read()
-            except OSError:
-                text = None  # absent: plain miss
-            if text is not None:
-                value, damage = _decode_entry(key, text)
-                if damage is not None:
-                    self._quarantine(path, damage)
-                    value = None
+            with trace_spans.span("cache.disk_read", key=key[:12]) as _sp:
+                try:
+                    with open(path, "r", encoding="utf-8") as f:
+                        text = f.read()
+                except OSError:
+                    text = None  # absent: plain miss
+                if text is not None:
+                    value, damage = _decode_entry(key, text)
+                    if damage is not None:
+                        self._quarantine(path, damage)
+                        value = None
+                if _sp is not None:
+                    _sp.set(hit=value is not None)
             if value is not None:
                 self._memory[key] = value
                 self.hits += 1
@@ -227,20 +231,21 @@ class ScheduleCache:
         if self.cache_dir is None:
             return
         path = self._disk_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # atomic publish: concurrent writers of the same key race
-        # harmlessly -- both write identical bytes
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                f.write(_encode_entry(key, value))
-            os.replace(tmp, path)
-        except OSError:
-            self._count("cache_disk_errors")
+        with trace_spans.span("cache.disk_write", key=key[:12]):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # atomic publish: concurrent writers of the same key race
+            # harmlessly -- both write identical bytes
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    f.write(_encode_entry(key, value))
+                os.replace(tmp, path)
             except OSError:
-                pass
+                self._count("cache_disk_errors")
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -57,6 +57,7 @@ from time import perf_counter
 from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.obs import sink as _sink_mod
+from repro.obs import trace_spans
 from repro.obs.metrics import MetricsRegistry, merge_snapshot
 from repro.obs.sink import MemorySink
 from repro.obs.telemetry import RunRecord
@@ -180,7 +181,8 @@ def _run_chunk(
     chunk: Sequence[tuple[int, S]],
     chunk_id: int | None = None,
     heartbeats=None,
-) -> tuple[list[tuple[int, R]], list[dict], dict[str, dict]]:
+    trace_id: str | None = None,
+) -> tuple[list[tuple[int, R]], list[dict], dict[str, dict], dict | None]:
     """Execute one chunk of (index, spec) pairs inside a worker.
 
     Telemetry is buffered in a :class:`MemorySink` (never written
@@ -188,7 +190,11 @@ def _run_chunk(
     duplicate records) and cache metrics go to a per-chunk registry so
     the parent can merge exact deltas.  When the parent supplied a
     ``heartbeats`` mapping (watchdog mode), the worker beats before
-    every point so the parent can tell slow from hung.
+    every point so the parent can tell slow from hung.  When the parent
+    is tracing (``trace_id``), the worker runs its own tracer -- seeded
+    from the parent's trace id, the chunk id, and the worker pid so span
+    ids never collide across chunks -- and ships the span snapshot home
+    in the return tuple for replay, exactly like the telemetry buffer.
     """
     registry = MetricsRegistry()
     cache = get_active_cache()
@@ -197,6 +203,18 @@ def _run_chunk(
         cache.metrics = registry
     buffer = MemorySink()
     prev_sink = _sink_mod.configure(buffer)
+    worker_tracer = None
+    prev_tracer = None
+    chunk_span = None
+    if trace_id is not None:
+        worker_tracer = trace_spans.Tracer(
+            trace_id=trace_spans.derive_trace_id(trace_id, "chunk", chunk_id, os.getpid()),
+            label=f"chunk-{chunk_id}",
+        )
+        prev_tracer = trace_spans.configure_tracing(worker_tracer)
+        chunk_span = worker_tracer.start_span(
+            "parallel.chunk", {"chunk": chunk_id, "points": len(chunk)}
+        )
 
     def beat() -> None:
         if heartbeats is not None:
@@ -211,10 +229,20 @@ def _run_chunk(
             beat()
             results.append((index, fn(spec)))
     finally:
+        if worker_tracer is not None:
+            if chunk_span is not None:
+                worker_tracer.end_span(chunk_span)
+            trace_spans.configure_tracing(prev_tracer)
         _sink_mod.configure(prev_sink)
         if cache is not None:
             cache.metrics = prev_cache_metrics
-    return results, [r.to_dict() for r in buffer.records], registry.snapshot()
+    trace_snapshot = worker_tracer.snapshot() if worker_tracer is not None else None
+    return (
+        results,
+        [r.to_dict() for r in buffer.records],
+        registry.snapshot(),
+        trace_snapshot,
+    )
 
 
 # -- parent side -------------------------------------------------------
@@ -320,6 +348,7 @@ def _pool_round(
     metrics: MetricsRegistry | None,
     absorb: Callable,
     done: list[bool],
+    trace_id: str | None = None,
 ) -> tuple[list[list[tuple[int, S]]], list[list[tuple[int, S]]], bool]:
     """One process-pool pass over ``chunks``.
 
@@ -353,7 +382,7 @@ def _pool_round(
         ) as pool:
             pending: dict[Future, tuple[int, list[tuple[int, S]]]] = {}
             for chunk_id, chunk in enumerate(chunks):
-                future = pool.submit(_run_chunk, fn, chunk, chunk_id, heartbeats)
+                future = pool.submit(_run_chunk, fn, chunk, chunk_id, heartbeats, trace_id)
                 pending[future] = (chunk_id, chunk)
             hung = False
             while pending and not hung:
@@ -430,6 +459,22 @@ def _run_parallel(
     metrics: MetricsRegistry | None,
     on_point: Callable[[int, R], None] | None = None,
 ) -> list[R]:
+    """Fan ``specs`` over the pool, under one ``parallel.dispatch`` span
+    when the parent is tracing (worker spans replay beneath it)."""
+    with trace_spans.span(
+        "parallel.dispatch", points=len(specs), jobs=min(config.jobs, len(specs))
+    ) as dispatch_span:
+        return _dispatch(fn, specs, config, metrics, on_point, dispatch_span)
+
+
+def _dispatch(
+    fn: Callable[[S], R],
+    specs: list[S],
+    config: SweepConfig,
+    metrics: MetricsRegistry | None,
+    on_point: Callable[[int, R], None] | None,
+    dispatch_span,
+) -> list[R]:
     wd = config.watchdog
     jobs = min(config.jobs, len(specs))
     chunk_size = config.chunk_size or max(1, ceil(len(specs) / (jobs * 4)))
@@ -438,10 +483,12 @@ def _run_parallel(
     results: list[R | None] = [None] * len(specs)
     done = [False] * len(specs)
     parent_sink = _sink_mod.get_sink()
+    tracer = trace_spans.get_tracer()
+    trace_id = tracer.trace_id if tracer is not None else None
     remote = {"points": 0}
     start = perf_counter()
 
-    def absorb(chunk_results, records, snapshot) -> None:
+    def absorb(chunk_results, records, snapshot, spans=None) -> None:
         for index, value in chunk_results:
             results[index] = value
             done[index] = True
@@ -453,6 +500,11 @@ def _run_parallel(
                 parent_sink.write(RunRecord.from_dict(payload))
         if metrics is not None and snapshot:
             merge_snapshot(metrics, snapshot)
+        if tracer is not None and spans:
+            tracer.replay(
+                spans,
+                parent_id=dispatch_span.span_id if dispatch_span is not None else None,
+            )
 
     def count(name: str, amount: float = 1.0) -> None:
         if metrics is not None:
@@ -474,7 +526,7 @@ def _run_parallel(
     while outstanding:
         round_no += 1
         retryable, fatal, pool_lost = _pool_round(
-            fn, outstanding, jobs, config, metrics, absorb, done
+            fn, outstanding, jobs, config, metrics, absorb, done, trace_id
         )
         if pool_lost:
             pool_losses += 1

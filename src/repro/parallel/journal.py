@@ -41,6 +41,8 @@ from enum import Enum
 from pathlib import Path
 from typing import Callable
 
+from repro.obs import trace_spans
+
 __all__ = [
     "JOURNAL_SCHEMA",
     "JournalLoad",
@@ -142,6 +144,14 @@ def load_journal(path: str | os.PathLike) -> JournalLoad:
     mismatches, and stale schemas are quarantined into the ``corrupt``
     count.  A missing file is an empty load.
     """
+    with trace_spans.span("journal.load", path=str(path)) as sp:
+        state = _load_journal(path)
+        if sp is not None:
+            sp.set(records=state.records, corrupt=state.corrupt)
+        return state
+
+
+def _load_journal(path: str | os.PathLike) -> JournalLoad:
     state = JournalLoad(results={})
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -251,9 +261,10 @@ class SweepJournal:
         except (TypeError, ValueError):
             self.skipped_appends += 1
             return False
-        self._file.write(line + "\n")
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with trace_spans.span("journal.append", fp=fingerprint[:12]):
+            self._file.write(line + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
         self._seen[fingerprint] = result
         self.appended += 1
         return True

@@ -32,6 +32,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.obs import sink as _telemetry_sink
+from repro.obs import trace_spans
 from repro.obs.telemetry import RunRecord, new_run_id
 
 __all__ = [
@@ -157,8 +158,17 @@ def emit_resilience_event(event: str, **details: object) -> None:
     ``event`` names what happened (``"hung-pool-killed"``,
     ``"point-quarantined"``, ``"pool-degraded"``, ``"sweep-resumed"``,
     ``"cache-quarantined"``); ``details`` is the free-form payload.
-    No-op when telemetry is disabled.
+    No-op when telemetry is disabled.  While a tracer is installed the
+    event additionally lands as a zero-duration ``resilience.<event>``
+    span, so watchdog kills, retries, and resumes show up on the traced
+    sweep timeline.
     """
+    if trace_spans.get_tracer() is not None:
+        attrs = {
+            k: v if isinstance(v, (bool, int, float, str, type(None))) else str(v)
+            for k, v in details.items()
+        }
+        trace_spans.instant(f"resilience.{event}", **attrs)
     sink = _telemetry_sink.get_sink()
     if sink is None:
         return
@@ -169,5 +179,6 @@ def emit_resilience_event(event: str, **details: object) -> None:
             n=0,
             algorithm=event,
             extra={"event": event, **details},
+            trace_id=trace_spans.current_trace_id(),
         )
     )

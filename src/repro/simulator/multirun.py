@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.multicast.base import MulticastTree
 from repro.multicast.ports import ALL_PORT, PortModel
 from repro.obs import sink as _telemetry_sink
+from repro.obs import trace_spans
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import RunRecord, new_run_id
 from repro.simulator.engine import Simulator
@@ -108,6 +109,38 @@ def simulate_concurrent_multicasts(
     if any(s < 0 for s in starts):
         raise ValueError("start times must be non-negative")
 
+    with trace_spans.span(
+        "simulate.concurrent", n=n, operations=len(trees), size=size, ports=ports.name
+    ) as _span:
+        result = _run_concurrent(
+            trees, size, timings, ports, starts, max_events, metrics, probes, label, n, order
+        )
+        if _span is not None:
+            _span.set(
+                events=result.events,
+                makespan_us=result.makespan,
+                total_blocked_us=result.total_blocked_time,
+            )
+            if probes:
+                from repro.obs.probes import probe_summaries
+
+                _span.set(probes=probe_summaries(probes))
+        return result
+
+
+def _run_concurrent(
+    trees: Sequence[MulticastTree],
+    size: int,
+    timings: Timings,
+    ports: PortModel,
+    starts: list[float],
+    max_events: int | None,
+    metrics: MetricsRegistry | None,
+    probes: "Sequence[Probe] | None",
+    label: str | None,
+    n: int,
+    order,
+) -> ConcurrentResult:
     wall_start = perf_counter()
     sim = Simulator(probes)
     limit = ports.limit(n)
@@ -146,14 +179,16 @@ def simulate_concurrent_multicasts(
         sim.schedule(starts[ti], fire)
 
     sim.run(max_events=max_events)
-    network.assert_quiescent()
-
-    for ti, tree in enumerate(trees):
-        missing = tree.destinations - delays[ti].keys()
-        if missing:
-            raise AssertionError(
-                f"multicast {ti} never reached destinations {sorted(missing)}"
-            )
+    with trace_spans.span("verify.delivery", n=n) as vsp:
+        network.assert_quiescent()
+        for ti, tree in enumerate(trees):
+            missing = tree.destinations - delays[ti].keys()
+            if missing:
+                raise AssertionError(
+                    f"multicast {ti} never reached destinations {sorted(missing)}"
+                )
+        if vsp is not None:
+            vsp.set(operations=len(trees))
 
     result = ConcurrentResult(
         trees=list(trees),
@@ -203,6 +238,7 @@ def simulate_concurrent_multicasts(
                     "total_blocked_us": result.total_blocked_time,
                     "worms": len(network.worms),
                 },
+                trace_id=trace_spans.current_trace_id(),
             )
         )
     return result

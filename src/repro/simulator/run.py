@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.multicast.base import MulticastTree
 from repro.multicast.ports import ALL_PORT, PortModel
 from repro.obs import sink as _telemetry_sink
+from repro.obs import trace_spans
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import RunRecord, new_run_id, summarize_delays
 from repro.simulator.engine import Simulator
@@ -133,7 +134,44 @@ def simulate_multicast(
     :class:`~repro.obs.telemetry.RunRecord` is emitted per call; with no
     sink, no registry, and no probes the run is bit-identical to the
     un-instrumented driver.
+
+    While a tracer is installed (see :mod:`repro.obs.trace_spans`) the
+    run records one ``simulate`` span with event/delay/blocking totals
+    -- and probe rollups, when probes are attached -- plus a nested
+    ``verify.delivery`` span over the quiescence and coverage checks.
     """
+    with trace_spans.span(
+        "simulate", n=tree.n, algorithm=label, size=size, ports=ports.name
+    ) as _span:
+        result = _simulate_multicast(
+            tree, size, timings, ports, trace, max_events, metrics, probes, label
+        )
+        if _span is not None:
+            _span.set(
+                events=result.events,
+                completion_us=result.completion_time,
+                avg_delay_us=result.avg_delay,
+                total_blocked_us=result.total_blocked_time,
+                worms=len(result.network.worms),
+            )
+            if probes:
+                from repro.obs.probes import probe_summaries
+
+                _span.set(probes=probe_summaries(probes))
+        return result
+
+
+def _simulate_multicast(
+    tree: MulticastTree,
+    size: int,
+    timings: Timings,
+    ports: PortModel,
+    trace: bool,
+    max_events: int | None,
+    metrics: MetricsRegistry | None,
+    probes: "Sequence[Probe] | None",
+    label: str | None,
+) -> MulticastResult:
     wall_start = perf_counter()
     sim = Simulator(probes)
     limit = ports.limit(tree.n)
@@ -168,11 +206,15 @@ def simulate_multicast(
         [(s.dst, size, None) for s in tree.sends_from(tree.source)], ready_time=0.0
     )
     sim.run(max_events=max_events)
-    network.assert_quiescent()
-
-    missing = tree.destinations - delays.keys()
-    if missing:
-        raise AssertionError(f"simulation ended with undelivered destinations: {sorted(missing)}")
+    with trace_spans.span("verify.delivery", n=tree.n) as vsp:
+        network.assert_quiescent()
+        missing = tree.destinations - delays.keys()
+        if missing:
+            raise AssertionError(
+                f"simulation ended with undelivered destinations: {sorted(missing)}"
+            )
+        if vsp is not None:
+            vsp.set(delivered=len(delays))
 
     result = MulticastResult(
         tree=tree,
@@ -219,6 +261,7 @@ def simulate_multicast(
                     "total_blocked_us": result.total_blocked_time,
                     "worms": len(network.worms),
                 },
+                trace_id=trace_spans.current_trace_id(),
             )
         )
     return result

@@ -1,0 +1,128 @@
+"""Tests for the Chrome trace-event and Prometheus exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_spans import Span, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer(trace_id="feedbeefcafe0123")
+    with t.span("schedule.build", algorithm="wsort", n=6):
+        with t.span("schedule.greedy", sends=12):
+            pass
+    t.instant("resilience.sweep-resumed", skipped=4)
+    t.start_span("parallel.chunk")  # left open: a dead worker's span
+    return t
+
+
+class TestChromeTrace:
+    def test_complete_events_have_ts_and_dur(self):
+        doc = to_chrome_trace(_sample_tracer())
+        events = {e["name"]: e for e in doc["traceEvents"]}
+        build = events["schedule.build"]
+        assert build["ph"] == "X"
+        assert build["dur"] >= events["schedule.greedy"]["dur"] >= 0.0
+        assert build["cat"] == "schedule"
+        assert build["args"]["algorithm"] == "wsort"
+        assert "span_id" in build["args"]
+        greedy = events["schedule.greedy"]
+        assert greedy["args"]["parent_id"] == build["args"]["span_id"]
+
+    def test_instants_and_partials_are_instant_events(self):
+        doc = to_chrome_trace(_sample_tracer())
+        events = {e["name"]: e for e in doc["traceEvents"]}
+        assert events["resilience.sweep-resumed"]["ph"] == "i"
+        assert events["resilience.sweep-resumed"]["s"] == "t"
+        chunk = events["parallel.chunk"]
+        assert chunk["ph"] == "i"
+        assert chunk["args"]["partial"] is True
+
+    def test_object_format_with_trace_id(self):
+        doc = to_chrome_trace(_sample_tracer())
+        assert doc["otherData"] == {"trace_id": "feedbeefcafe0123"}
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_accepts_span_lists_and_dicts(self):
+        spans = [Span("t", "s1", None, "a", 0.0, 5.0)]
+        from_spans = to_chrome_trace(spans)
+        from_dicts = to_chrome_trace([s.to_dict() for s in spans], trace_id="t")
+        assert from_spans["traceEvents"] == from_dicts["traceEvents"]
+        assert from_dicts["otherData"] == {"trace_id": "t"}
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, _sample_tracer())
+        doc = json.loads(path.read_text())
+        assert count == len(doc["traceEvents"]) == 4
+        # every event is Perfetto-loadable: required keys present
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+class TestPrometheus:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("sim.events").inc(42)
+        reg.gauge("sim.parallel.jobs").set(4)
+        with reg.timer("sim.wall").time():
+            pass
+        hist = reg.histogram("sim.delay_us", bounds=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            hist.observe(v)
+        return reg
+
+    def test_counter_and_gauge_lines(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE repro_sim_events counter" in text
+        assert "repro_sim_events 42" in text
+        assert "# TYPE repro_sim_parallel_jobs gauge" in text
+        assert "repro_sim_parallel_jobs 4" in text
+        assert "repro_sim_parallel_jobs_min" in text
+        assert "repro_sim_parallel_jobs_max" in text
+
+    def test_timer_becomes_summary(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE repro_sim_wall_seconds summary" in text
+        assert "repro_sim_wall_seconds_count 1" in text
+        assert "repro_sim_wall_seconds_sum" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = to_prometheus(self._registry())
+        assert 'repro_sim_delay_us_bucket{le="10"} 1' in text
+        assert 'repro_sim_delay_us_bucket{le="100"} 2' in text
+        assert 'repro_sim_delay_us_bucket{le="+Inf"} 3' in text
+        assert "repro_sim_delay_us_count 3" in text
+        assert "repro_sim_delay_us_sum 555" in text
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.with/slashes").inc()
+        text = to_prometheus(reg, prefix="p")
+        assert "p_weird_name_with_slashes 1" in text
+
+    def test_plain_snapshot_accepted(self):
+        snap = {"c": {"type": "counter", "value": 7.0}}
+        assert "repro_c 7" in to_prometheus(snap)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown instrument"):
+            to_prometheus({"x": {"type": "mystery"}})
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus({}) == ""
+
+    def test_write_returns_line_count(self, tmp_path):
+        path = tmp_path / "m.prom"
+        lines = write_prometheus(path, self._registry())
+        assert lines == len(path.read_text().splitlines())

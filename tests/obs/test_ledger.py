@@ -1,0 +1,167 @@
+"""Tests for the benchmark ledger: entries, trajectory, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import ledger as bench_ledger
+from repro.obs.ledger import (
+    BENCHMARK_NAMES,
+    LEDGER_SCHEMA,
+    Regression,
+    compare_entries,
+    env_fingerprint,
+    host_class,
+    latest_entry,
+    ledger_path,
+    load_ledger,
+    run_benchmark_suite,
+    save_ledger,
+)
+
+
+def _entry(quick: bool = True, **walls: float) -> dict:
+    benchmarks = {
+        name: {"wall_seconds": wall, "repeat": 1, "params": {}, "phases": {}}
+        for name, wall in walls.items()
+    }
+    return {"recorded_at": "2026-01-01T00:00:00Z", "quick": quick, "benchmarks": benchmarks}
+
+
+class TestHostClass:
+    def test_shape(self):
+        parts = host_class().split("-")
+        assert len(parts) >= 4
+        assert parts[-1].replace(".", "").isdigit()
+
+    def test_ledger_path_embeds_host(self, tmp_path):
+        p = ledger_path(tmp_path)
+        assert p.name == f"BENCH_{host_class()}.json"
+        assert ledger_path(tmp_path, host="other").name == "BENCH_other.json"
+
+    def test_env_fingerprint_json_safe(self):
+        json.dumps(env_fingerprint())
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def entry(self):
+        return run_benchmark_suite(quick=True, repeat=1)
+
+    def test_entry_shape(self, entry):
+        assert entry["quick"] is True
+        assert set(entry["benchmarks"]) == set(BENCHMARK_NAMES)
+        assert entry["env"]["python"]
+        for res in entry["benchmarks"].values():
+            assert res["wall_seconds"] > 0.0
+            assert res["repeat"] == 1
+            assert res["params"]["iters"] >= 1
+
+    def test_phase_breakdowns_present(self, entry):
+        """Every benchmark's traced run decomposes into named phases
+        (the per-phase cost decomposition the ledger exists to track)."""
+        assert "schedule.build" in entry["benchmarks"]["build-tree/wsort"]["phases"]
+        assert "verify.contention" in entry["benchmarks"]["verify/contention"]["phases"]
+        assert "simulate" in entry["benchmarks"]["simulate/wsort"]["phases"]
+        sweep = entry["benchmarks"]["sweep/fig11-point"]
+        assert "cache.disk_read" not in sweep["phases"]  # in-memory cache
+        assert 0.0 < sweep["cache"]["hit_ratio"] <= 1.0
+
+    def test_entry_is_json_safe(self, entry):
+        json.dumps(entry)
+
+
+class TestLedgerFile:
+    def test_missing_file_is_fresh_ledger(self, tmp_path):
+        book = load_ledger(tmp_path / "absent.json")
+        assert book == {
+            "schema": LEDGER_SCHEMA,
+            "host_class": host_class(),
+            "entries": [],
+        }
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = ledger_path(tmp_path)
+        book = load_ledger(path)
+        book["entries"].append(_entry(**{"weighted-sort": 0.01}))
+        save_ledger(path, book)
+        assert load_ledger(path) == book
+        assert path.read_text().endswith("\n")
+
+    def test_corrupt_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{torn", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_ledger(path)
+        path.write_text('["not", "a", "ledger"]', encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_ledger(path)
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": 999, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_ledger(path)
+
+    def test_latest_entry_filters_by_mode(self):
+        book = {
+            "entries": [
+                _entry(quick=True, a=1.0),
+                _entry(quick=False, a=2.0),
+                _entry(quick=True, a=3.0),
+            ]
+        }
+        assert latest_entry(book)["benchmarks"]["a"]["wall_seconds"] == 3.0
+        assert latest_entry(book, quick=False)["benchmarks"]["a"]["wall_seconds"] == 2.0
+        assert latest_entry(book, quick=True)["benchmarks"]["a"]["wall_seconds"] == 3.0
+        assert latest_entry({"entries": []}) is None
+
+
+class TestCompare:
+    def test_no_baseline_no_regressions(self):
+        assert compare_entries(None, _entry(a=1.0)) == []
+
+    def test_regression_beyond_threshold(self):
+        regs = compare_entries(
+            _entry(a=0.010, b=0.010), _entry(a=0.020, b=0.011), threshold=1.5
+        )
+        assert [r.name for r in regs] == ["a"]
+        assert regs[0].ratio == pytest.approx(2.0)
+        assert "a:" in str(regs[0]) and "2.00x" in str(regs[0])
+
+    def test_min_delta_filters_micro_jitter(self):
+        # 10x slower but only 90 microseconds: below the jitter floor
+        assert compare_entries(_entry(a=0.00001), _entry(a=0.0001), threshold=1.5) == []
+        # same ratio at batch scale: real regression
+        assert compare_entries(_entry(a=0.01), _entry(a=0.1), threshold=1.5) != []
+
+    def test_new_benchmarks_skipped(self):
+        assert compare_entries(_entry(a=1.0), _entry(b=99.0)) == []
+
+    def test_improvements_never_flag(self):
+        assert compare_entries(_entry(a=1.0), _entry(a=0.1)) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_entries(_entry(a=1.0), _entry(a=1.0), threshold=0.0)
+
+    def test_zero_baseline_ratio_is_inf(self):
+        reg = Regression("x", 0.0, 1.0)
+        assert reg.ratio == float("inf")
+
+
+class TestDefaults:
+    def test_repeat_defaults(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            bench_ledger,
+            "_run_one",
+            lambda name, quick, repeat: calls.append(repeat) or {"wall_seconds": 1.0},
+        )
+        run_benchmark_suite(quick=True)
+        assert set(calls) == {3}
+        calls.clear()
+        run_benchmark_suite(quick=False)
+        assert set(calls) == {5}

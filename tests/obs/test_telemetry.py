@@ -63,6 +63,23 @@ class TestRunRecord:
     def test_run_ids_unique(self):
         assert len({new_run_id() for _ in range(100)}) == 100
 
+    def test_v1_record_without_trace_id_still_loads(self):
+        """Telemetry written before the schema-2 bump (no ``trace_id``
+        field) must keep loading: the loader accepts both versions."""
+        data = json.loads(_make_record().to_json())
+        data["schema"] = 1
+        del data["trace_id"]
+        back = RunRecord.from_dict(data)
+        assert back.trace_id is None
+        assert back.kind == "multicast"
+
+    def test_v2_trace_id_round_trips(self):
+        rec = _make_record(trace_id="feedbeefcafe0123")
+        data = json.loads(rec.to_json())
+        assert data["schema"] == 2
+        assert data["trace_id"] == "feedbeefcafe0123"
+        assert RunRecord.from_json(rec.to_json()).trace_id == "feedbeefcafe0123"
+
 
 class TestSummarizeDelays:
     def test_empty(self):

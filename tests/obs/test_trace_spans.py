@@ -1,0 +1,229 @@
+"""Tests for the hierarchical span tracer and its snapshot/replay."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.trace_spans import (
+    Span,
+    Tracer,
+    configure_tracing,
+    current_span,
+    current_trace_id,
+    derive_trace_id,
+    get_tracer,
+    instant,
+    phase_rollup,
+    span,
+    trace_capture,
+)
+
+
+class TestDeriveTraceId:
+    def test_deterministic(self):
+        assert derive_trace_id("a", 1, 2.5) == derive_trace_id("a", 1, 2.5)
+
+    def test_component_sensitivity(self):
+        assert derive_trace_id("a", 1) != derive_trace_id("a", 2)
+        assert derive_trace_id("a", None) != derive_trace_id("a", "")
+        # type-tagged encoding: 1 and "1" and True are distinct
+        assert derive_trace_id(1) != derive_trace_id("1")
+        assert derive_trace_id(True) != derive_trace_id(1)
+
+    def test_sixteen_hex_chars(self):
+        tid = derive_trace_id("x")
+        assert len(tid) == 16
+        int(tid, 16)  # hex
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(TypeError):
+            derive_trace_id(object())
+
+
+class TestTracerNesting:
+    def test_parent_child_ids(self):
+        t = Tracer(trace_id="feedbeefcafe0123")
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with t.span("sibling") as sib:
+                assert sib.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert all(s.finished for s in t.spans)
+        assert [s.name for s in t.spans] == ["outer", "inner", "sibling"]
+
+    def test_span_ids_unique_and_trace_scoped(self):
+        t = Tracer()
+        for _ in range(5):
+            with t.span("same-name"):
+                pass
+        ids = [s.span_id for s in t.spans]
+        assert len(set(ids)) == 5
+        assert all(s.trace_id == t.trace_id for s in t.spans)
+
+    def test_timing_monotonic_and_nested(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert outer.start_us <= inner.start_us
+        assert inner.end_us <= outer.end_us
+        assert outer.duration_us >= inner.duration_us >= 0.0
+
+    def test_attrs_recorded_and_set(self):
+        t = Tracer()
+        with t.span("s", n=6, algorithm="wsort") as s:
+            s.set(ok=True)
+        assert t.spans[0].attrs == {"n": 6, "algorithm": "wsort", "ok": True}
+
+    def test_exception_recorded_and_span_closed(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("payload")
+        s = t.spans[0]
+        assert s.finished
+        assert s.attrs["error"] == "ValueError: payload"
+        assert t.current() is None
+
+    def test_instant_is_zero_duration_child(self):
+        t = Tracer()
+        with t.span("parent") as parent:
+            ev = t.instant("event", detail=3)
+        assert ev.parent_id == parent.span_id
+        assert ev.start_us == ev.end_us
+        assert ev.attrs == {"detail": 3}
+
+    def test_threads_nest_independently(self):
+        t = Tracer()
+        errors: list[str] = []
+
+        def work(i: int) -> None:
+            with t.span(f"thread-{i}") as outer:
+                with t.span("leaf") as leaf:
+                    if leaf.parent_id != outer.span_id:
+                        errors.append(f"bad parent in thread {i}")
+                if outer.parent_id is not None:
+                    errors.append(f"thread {i} root not a root")
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert len(t.spans) == 16
+        assert len({s.span_id for s in t.spans}) == 16
+
+
+class TestSnapshotReplay:
+    def test_round_trip_reanchors_and_reparents(self):
+        worker = Tracer(trace_id="aaaaaaaaaaaaaaaa")
+        with worker.span("chunk", points=2):
+            with worker.span("point"):
+                pass
+        snap = worker.snapshot()
+
+        parent = Tracer(trace_id="bbbbbbbbbbbbbbbb")
+        with parent.span("dispatch") as dispatch:
+            pass
+        count = parent.replay(snap, parent_id=dispatch.span_id)
+        assert count == 2
+        replayed = {s.name: s for s in parent.spans if s.name != "dispatch"}
+        assert replayed["chunk"].parent_id == dispatch.span_id
+        assert replayed["point"].parent_id == replayed["chunk"].span_id
+        assert all(s.trace_id == parent.trace_id for s in parent.spans)
+
+    def test_open_spans_marked_partial(self):
+        worker = Tracer()
+        worker.start_span("never-closed")
+        snap = worker.snapshot()
+        assert snap["spans"][0]["partial"] is True
+        parent = Tracer()
+        assert parent.replay(snap) == 1
+        s = parent.spans[0]
+        assert s.end_us is None and s.attrs["partial"] is True
+        assert s.duration_us == 0.0
+
+    def test_malformed_entries_dropped_not_raised(self):
+        parent = Tracer()
+        snap = {
+            "schema": 1,
+            "trace_id": "cccccccccccccccc",
+            "epoch_unix": parent.epoch_unix,
+            "spans": [
+                "not-a-dict",
+                {"span_id": 7, "name": "bad-id-type", "start_us": 0.0},
+                {"span_id": "ok1", "name": "missing-start"},
+                {"span_id": "ok2", "name": "good", "start_us": 1.0, "end_us": "junk"},
+                {"span_id": "ok3", "name": "fine", "start_us": 2.0, "end_us": 3.0},
+            ],
+        }
+        assert parent.replay(snap) == 2
+        names = {s.name for s in parent.spans}
+        assert names == {"good", "fine"}
+
+    def test_garbage_snapshot_is_zero(self):
+        parent = Tracer()
+        assert parent.replay({}) == 0
+        assert parent.replay({"epoch_unix": "NaN?", "spans": None}) == 0
+        assert parent.spans == []
+
+    def test_epoch_offset_applied(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        snap = worker.snapshot()
+        snap["epoch_unix"] = worker.epoch_unix + 1.0  # pretend 1s later
+        parent = Tracer()
+        parent.epoch_unix = worker.epoch_unix
+        parent.replay(snap)
+        assert parent.spans[0].start_us >= 1e6
+
+
+class TestModuleLevelHooks:
+    def test_noop_when_off(self):
+        assert get_tracer() is None or configure_tracing(None)  # ensure clean
+        with span("anything", n=1) as s:
+            assert s is None
+        assert instant("event") is None
+        assert current_trace_id() is None
+        assert current_span() is None
+
+    def test_trace_capture_installs_and_restores(self):
+        before = get_tracer()
+        with trace_capture(label="test") as tracer:
+            assert get_tracer() is tracer
+            assert current_trace_id() == tracer.trace_id
+            with span("s", k=1) as s:
+                assert s is not None
+                assert current_span() is s
+        assert get_tracer() is before
+        assert tracer.spans[0].attrs == {"k": 1}
+
+    def test_nested_capture_restores_outer(self):
+        with trace_capture() as outer:
+            with trace_capture() as inner:
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+    def test_explicit_tracer_accepted(self):
+        mine = Tracer(trace_id="dddddddddddddddd")
+        with trace_capture(mine) as got:
+            assert got is mine
+
+
+class TestPhaseRollup:
+    def test_aggregates_by_name(self):
+        spans = [
+            Span("t", "1", None, "a", 0.0, 10.0),
+            Span("t", "2", None, "a", 0.0, 5.0),
+            Span("t", "3", None, "b", 0.0, 2.0),
+            Span("t", "4", None, "open", 0.0, None),
+        ]
+        roll = phase_rollup(spans)
+        assert roll["a"] == {"count": 2, "total_us": 15.0}
+        assert roll["b"] == {"count": 1, "total_us": 2.0}
+        assert roll["open"] == {"count": 1, "total_us": 0.0}

@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis.experiments import run_experiment, run_sweep
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_spans import get_tracer, trace_capture
 
 pytestmark = pytest.mark.slow
 
@@ -50,6 +51,29 @@ def test_serial_with_cache_byte_identical(serial_tables, tmp_path):
     """jobs=1 + cache is the same table too (cache layer alone)."""
     cached = run_experiment("fig9", fast=True, jobs=1, cache_dir=tmp_path / "c")
     assert cached.to_json() == serial_tables["fig9"].to_json()
+
+
+@pytest.mark.parametrize("fig", ["fig9", "fig11"])
+def test_tracing_is_bit_identical(fig, serial_tables):
+    """Tracing observes, never perturbs: a traced sweep renders the
+    same bytes as an untraced one (and hence as the seed outputs)."""
+    with trace_capture(label="bit-identity") as tracer:
+        traced = run_experiment(fig, fast=True)
+    assert get_tracer() is None  # capture restored the off state
+    assert traced.to_json() == serial_tables[fig].to_json()
+    assert traced.render() == serial_tables[fig].render()
+    # the trace itself is non-trivial: per-point spans were recorded
+    point_span = "point.steps" if fig == "fig9" else "point.delay"
+    assert {s.name for s in tracer.spans} >= {"experiment", point_span}
+
+
+@pytest.mark.parametrize("fig", ["fig9", "fig11"])
+def test_traced_parallel_sweep_bit_identical(fig, serial_tables, tmp_path):
+    """Tracing composed with the parallel engine (worker span replay
+    active) still changes nothing in the rendered tables."""
+    with trace_capture(label="bit-identity-parallel"):
+        traced = run_experiment(fig, fast=True, jobs=2, cache_dir=tmp_path / "c")
+    assert traced.to_json() == serial_tables[fig].to_json()
 
 
 def test_fig11_fig12_share_cached_points(tmp_path):

@@ -27,8 +27,10 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.experiments import run_sweep, sweep_run_id
+from repro.obs.exporters import to_chrome_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sink import capture
+from repro.obs.trace_spans import trace_capture
 from repro.parallel.engine import run_points, sweep_context
 from repro.parallel.journal import load_journal
 from repro.parallel.resilience import RetryPolicy, WatchdogConfig
@@ -224,6 +226,61 @@ class TestCrashResume:
             ["fig11"], fast=True, journal_dir=str(journal_dir), resume=True
         )["fig11"]
         assert resumed.to_json() == reference
+
+
+class TestTraceChaos:
+    """Span replay across the process boundary under worker failure.
+
+    A chunk that dies after opening spans must never corrupt the parent
+    trace: every surviving span still parents within the trace, ids stay
+    unique, and the trace still exports as a valid Chrome trace."""
+
+    @staticmethod
+    def _assert_trace_coherent(tracer) -> None:
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids), "span ids collided"
+        known = set(ids)
+        for s in tracer.spans:
+            assert s.trace_id == tracer.trace_id
+            assert s.parent_id is None or s.parent_id in known, (
+                f"dangling parent {s.parent_id!r} on {s.name}"
+            )
+        # and the whole thing still serializes as a Chrome trace
+        json.dumps(to_chrome_trace(tracer))
+
+    def test_healthy_parallel_run_replays_chunk_spans(self):
+        with trace_capture(label="chaos-healthy") as tracer:
+            with sweep_context(jobs=2, chunk_size=2, watchdog=_FAST_WATCHDOG):
+                assert run_points(_square, range(8)) == [x * x for x in range(8)]
+        by_name = {}
+        for s in tracer.spans:
+            by_name.setdefault(s.name, []).append(s)
+        (dispatch,) = by_name["parallel.dispatch"]
+        assert by_name["parallel.chunk"], "worker spans never replayed"
+        for chunk in by_name["parallel.chunk"]:
+            assert chunk.parent_id == dispatch.span_id
+        self._assert_trace_coherent(tracer)
+
+    def test_dying_workers_leave_parent_trace_coherent(self):
+        """Every chunk dies mid-flight (its span snapshot is lost with
+        the worker); retries burn out, points are quarantined and finish
+        in-process under the parent tracer.  Results stay correct and
+        the parent trace stays internally consistent."""
+        with trace_capture(label="chaos-crash") as tracer:
+            with sweep_context(
+                jobs=2, chunk_size=2, watchdog=_FAST_WATCHDOG
+            ) as registry:
+                assert run_points(_die_in_worker, range(6)) == [
+                    x * x for x in range(6)
+                ]
+        snap = registry.snapshot()
+        assert snap["sim.resilience.quarantined_points"]["value"] == 6
+        names = {s.name for s in tracer.spans}
+        assert "parallel.dispatch" in names
+        assert "resilience.point-quarantined" in names
+        # no span from a dead worker may dangle or collide
+        self._assert_trace_coherent(tracer)
+        assert all(s.finished or s.attrs.get("partial") for s in tracer.spans)
 
 
 class TestCacheChaos:

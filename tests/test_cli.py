@@ -346,6 +346,182 @@ class TestSweepResumeCli:
         assert table(first) == table(second)  # resumed output byte-identical
 
 
+class TestStatsFromFile:
+    """``stats --from``: summarize exported telemetry, exit 2 on damage."""
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        rc = main(["stats", "--from", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read telemetry file" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_file_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 2, "kind": "x"\n{torn\n', encoding="utf-8")
+        rc = main(["stats", "--from", str(bad)])
+        assert rc == 2
+        assert "error: corrupt telemetry file" in capsys.readouterr().err
+
+    def test_missing_n_without_from_exits_two(self, capsys):
+        rc = main(["stats"])
+        assert rc == 2
+        assert "required (unless --from)" in capsys.readouterr().err
+
+    def test_summarizes_valid_export(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out = str(tmp_path / "stats.jsonl")
+        assert main(["stats", "-n", "3", "-d", "1,2,3", "--telemetry", out]) == 0
+        capsys.readouterr()
+        rc = main(["stats", "--from", out])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "1 record(s)" in text
+        assert "multicast: 1" in text
+
+    def test_json_summary(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        out = str(tmp_path / "stats.jsonl")
+        assert main(["stats", "-n", "3", "-d", "1,2", "--telemetry", out]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--from", out, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] == 1
+        assert doc["kinds"] == {"multicast": 1}
+
+    def test_exit_two_through_real_entry_point(self, tmp_path):
+        proc = _run_cli("stats", "--from", str(tmp_path / "gone.jsonl"))
+        assert proc.returncode == 2
+        assert "error: cannot read telemetry file" in proc.stderr
+
+
+class TestTraceSubcommand:
+    def test_trace_writes_perfetto_loadable_json(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "fig11", "-o", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "trace " in text and "event(s) written" in text
+        assert "fig11: 10 point(s)" in text
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        names = {e["name"] for e in doc["traceEvents"]}
+        # nested schedule/verify/simulate spans per point, per acceptance
+        for required in ("experiment", "point.delay", "schedule.build",
+                         "simulate", "verify.delivery"):
+            assert required in names, f"missing {required} spans"
+        for event in doc["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+    def test_trace_prometheus_sidecar(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        rc = main(["trace", "fig11", "-o", str(out), "--prometheus", str(prom)])
+        assert rc == 0
+        text = prom.read_text()
+        assert "# TYPE repro_sim_parallel_cache_misses counter" in text
+        assert "repro_sim_parallel_points_total 10" in text
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        rc = main(["trace", "not-a-figure", "-o", "ignored.json"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_trace_flag(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "sweep-trace.json"
+        rc = main(["sweep", "fig11", "--trace", str(out)])
+        assert rc == 0
+        assert "event(s) written" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} >= {"experiment", "point.delay"}
+
+
+class TestBenchSubcommand:
+    def _bench(self, tmp_path, *extra: str):
+        return main(
+            ["bench", "--quick", "--repeat", "1",
+             "--ledger-dir", str(tmp_path), *extra]
+        )
+
+    def test_first_run_seeds_trajectory(self, capsys, tmp_path):
+        from repro.obs.ledger import host_class, load_ledger
+
+        rc = self._bench(tmp_path)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seeding the trajectory" in out
+        book = load_ledger(tmp_path / f"BENCH_{host_class()}.json")
+        assert len(book["entries"]) == 1
+
+    def test_second_run_compares_clean(self, capsys, tmp_path):
+        assert self._bench(tmp_path) == 0
+        capsys.readouterr()
+        assert self._bench(tmp_path) == 0
+        assert "no regressions vs" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, capsys, tmp_path):
+        from repro.obs.ledger import host_class, load_ledger, save_ledger
+
+        assert self._bench(tmp_path) == 0
+        capsys.readouterr()
+        path = tmp_path / f"BENCH_{host_class()}.json"
+        book = load_ledger(path)
+        for res in book["entries"][0]["benchmarks"].values():
+            res["wall_seconds"] /= 100.0  # past looks 100x faster
+        save_ledger(path, book)
+        rc = self._bench(tmp_path)
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "REGRESSION:" in err and "slowed beyond" in err
+
+    def test_regression_still_appends_entry(self, capsys, tmp_path):
+        from repro.obs.ledger import host_class, load_ledger, save_ledger
+
+        assert self._bench(tmp_path) == 0
+        path = tmp_path / f"BENCH_{host_class()}.json"
+        book = load_ledger(path)
+        for res in book["entries"][0]["benchmarks"].values():
+            res["wall_seconds"] /= 100.0
+        save_ledger(path, book)
+        assert self._bench(tmp_path) == 1
+        assert len(load_ledger(path)["entries"]) == 2  # honest trajectory
+
+    def test_dry_run_does_not_write(self, capsys, tmp_path):
+        from repro.obs.ledger import host_class
+
+        rc = self._bench(tmp_path, "--dry-run")
+        assert rc == 0
+        assert "dry run: ledger not written" in capsys.readouterr().out
+        assert not (tmp_path / f"BENCH_{host_class()}.json").exists()
+
+    def test_corrupt_ledger_exits_two(self, capsys, tmp_path):
+        from repro.obs.ledger import host_class
+
+        (tmp_path / f"BENCH_{host_class()}.json").write_text("{torn")
+        rc = self._bench(tmp_path)
+        assert rc == 2
+        assert "corrupt benchmark ledger" in capsys.readouterr().err
+
+    def test_bad_threshold_exits_two(self, capsys, tmp_path):
+        assert self._bench(tmp_path, "--threshold", "0.5") == 2
+        assert "must be > 1.0" in capsys.readouterr().err
+
+    def test_bad_repeat_exits_two(self, capsys, tmp_path):
+        assert self._bench(tmp_path, "--repeat", "0") == 2
+        assert "--repeat must be >= 1" in capsys.readouterr().err
+
+    def test_threshold_env_override(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_THRESHOLD", "garbage")
+        assert self._bench(tmp_path) == 2
+        assert "REPRO_BENCH_THRESHOLD" in capsys.readouterr().err
+
+
 class TestCollective:
     @pytest.mark.parametrize(
         "op", ["broadcast", "scatter", "gather", "allgather", "reduce", "allreduce", "barrier"]

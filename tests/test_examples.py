@@ -99,6 +99,20 @@ def test_telemetry_export(capsys):
     assert "none (contention-free)" in out
 
 
+def test_trace_export(capsys):
+    out = run_example("trace_export.py", capsys)
+    assert "trace id:" in out
+    assert "span phases" in out
+    assert "schedule.build" in out and "simulate" in out
+    assert "event(s) written to" in out
+    assert "perfetto" in out.lower()
+    assert "# TYPE repro_" in out
+    # tracing must not leak past the example
+    from repro.obs.trace_spans import get_tracer
+
+    assert get_tracer() is None
+
+
 def test_fault_injection(capsys):
     out = run_example("fault_injection.py", capsys)
     assert "aborted worms: 2" in out
