@@ -1,0 +1,75 @@
+"""Multicast planning as a service: boot, load, observe.
+
+Starts the schedule-planning HTTP service in-process (on an ephemeral
+loopback port), drives a Zipf-skewed workload at it with the bundled
+load generator, and then reads back what both sides saw: client-side
+throughput and latency quantiles, the server's coalescing/admission
+counters, and per-client usage accounting from ``/v1/usage``.
+
+The same service runs standalone via ``python -m repro serve``; drive
+it with ``python -m repro.service.loadgen --port ...``.  See
+docs/SERVICE.md for the API and capacity-planning notes.
+
+Run:  PYTHONPATH=src python examples/service_load.py
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.service import LoadConfig, ServiceConfig, ServiceThread, run_load_sync
+
+
+def main() -> None:
+    # -- 1. the service, hosted on a background event-loop thread --------
+    with ServiceThread(ServiceConfig(port=0)) as svc:
+        base = f"http://{svc.host}:{svc.port}"
+        print(f"service up at {base}")
+
+        # -- 2. one explicit request/response round trip -----------------
+        doc = {"algorithm": "wsort", "n": 6, "source": 0,
+               "destinations": [1, 3, 5, 9, 17, 33]}
+        req = urllib.request.Request(
+            base + "/v1/schedule", data=json.dumps(doc).encode(), method="POST",
+            headers={"X-Client-Id": "example"},
+        )
+        with urllib.request.urlopen(req) as resp:
+            body = json.loads(resp.read())
+        print(f"one schedule: source={body['source']}, "
+              f"max step {body['result']['max_step']}, key {body['key'][:12]}...")
+
+        # -- 3. a skewed load run: hot keys coalesce and then hit --------
+        summary = run_load_sync(
+            LoadConfig(
+                host=svc.host, port=svc.port,
+                requests=600, concurrency=8,
+                keys=12, skew=1.1, n=6, m=8,
+                client_id="example-load",
+            )
+        )
+        print("\n== load generator (600 requests, 12 keys, zipf 1.1) ==")
+        print(f"throughput: {summary.rps:.0f} req/s over {summary.wall_seconds:.2f} s")
+        print(f"latency:    p50 {summary.p50_ms:.2f} ms, p99 {summary.p99_ms:.2f} ms")
+        print(f"cache:      hit ratio {summary.hit_ratio:.3f} "
+              f"({summary.cache_hits} hits, {summary.builds} builds)")
+
+        # -- 4. what the server itself measured --------------------------
+        registry = svc.app.metrics
+        print("\n== server counters ==")
+        for name in ("requests", "builds", "coalesced", "rejected_rate"):
+            value = registry.counter(f"sim.service.{name}").value
+            print(f"sim.service.{name:<14} {value:g}")
+        print(f"repository hit ratio: {svc.app.planner.cache.hit_ratio():.3f}")
+
+        with urllib.request.urlopen(base + "/v1/usage") as resp:
+            usage = json.loads(resp.read())
+        print("\n== per-client usage (/v1/usage) ==")
+        for client, stats in usage["clients"].items():
+            print(f"{client:<14} requests={stats['requests']:<5} "
+                  f"cache_hits={stats['cache_hits']:<5} builds={stats['builds']}")
+    print("\nservice drained cleanly")
+
+
+if __name__ == "__main__":
+    main()

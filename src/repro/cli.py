@@ -28,6 +28,9 @@ Subcommands:
   committed ``benchmarks/BENCH_<host-class>.json`` ledger, and exit 1
   when any benchmark regresses beyond the threshold vs the previous
   entry; see docs/TRACING.md.
+- ``serve`` -- run the schedule-planning HTTP service (coalescing,
+  admission control, graceful drain on SIGTERM); see docs/SERVICE.md.
+  Drive it with ``python -m repro.service.loadgen``.
 
 ``experiment``, ``collective``, ``stats``, ``faults``, and ``sweep``
 accept ``--telemetry PATH`` to export structured
@@ -359,6 +362,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         cache = res.get("cache")
         if cache:
             extra = f"   cache hit ratio {cache['hit_ratio']:.2f}"
+        svc = res.get("service")
+        if svc:
+            extra += (
+                f"   {svc['rps']:.0f} req/s, p50 {svc['p50_ms']:.2f} ms, "
+                f"p99 {svc['p99_ms']:.2f} ms"
+            )
         print(f"  {name:<22} {res['wall_seconds'] * 1e3:9.3f} ms{extra}")
     previous = bench_ledger.latest_entry(book, quick=quick)
     regressions = bench_ledger.compare_entries(previous, entry, threshold=threshold)
@@ -382,6 +391,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print(f"no regressions vs {previous['recorded_at']} (threshold {threshold:g}x)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import AdmissionConfig, ServiceConfig, serve_async
+
+    if not 0 <= args.port <= 65535:
+        print(f"serve: port must be in [0, 65535], got {args.port}", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"serve: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.deadline_ms <= 0:
+        print(f"serve: --deadline-ms must be positive, got {args.deadline_ms}", file=sys.stderr)
+        return 2
+    try:
+        admission = AdmissionConfig(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            rate_per_client=args.rate,
+            burst=args.burst,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        admission=admission,
+        deadline_ms=args.deadline_ms,
+        drain_grace_s=args.drain_grace_s,
+    )
+
+    def ready(app) -> None:
+        # the line scripts and the CI smoke job wait for (flushed so a
+        # piped stdout delivers it before the first request arrives)
+        print(f"serving on http://{app.host}:{app.port}", flush=True)
+
+    return asyncio.run(serve_async(config, ready=ready))
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -899,6 +950,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cg.add_argument("cache_dir", metavar="PATH")
     p_cg.set_defaults(func=_cmd_cache_gc)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the schedule-planning HTTP service until SIGTERM"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8421, help="listen port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed schedule cache shared with sweep runs",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="build executor threads (the service's build concurrency)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="admitted requests before new arrivals queue",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=128, metavar="N",
+        help="queued requests before new arrivals get 503",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="per-client sustained req/s; above it clients get 429 (default: off)",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=20.0, metavar="B",
+        help="per-client burst allowance for --rate",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=10_000.0, metavar="MS",
+        help="default per-request deadline (X-Deadline-Ms can lower it)",
+    )
+    p_serve.add_argument(
+        "--drain-grace-s", type=float, default=5.0, metavar="S",
+        help="seconds granted to in-flight requests on SIGTERM drain",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="paper-vs-measured markdown report")
     p_rep.add_argument("--full", action="store_true", help="paper-parity parameters")

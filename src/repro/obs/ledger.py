@@ -2,8 +2,10 @@
 
 ``repro-hypercube bench`` runs a curated benchmark set over the repo's
 hot paths — tree construction, greedy step scheduling, weighted_sort,
-Definition-4 verification, the event simulator, and a cached fig11-style
-sweep point — and appends one schema-versioned entry to
+Definition-4 verification, the event simulator, a cached fig11-style
+sweep point, and warm-cache round trips through the planning service
+(``service/*``, real loopback sockets) — and appends one
+schema-versioned entry to
 ``benchmarks/BENCH_<host-class>.json``.  Each entry records per-benchmark
 wall time (best of ``repeat`` untraced fixed-iteration batches — batches
 are sized to ~10 ms so the numbers are stable), a span-phase breakdown
@@ -183,17 +185,80 @@ def _bench_sweep_point(quick: bool):
             activate_cache(previous)
 
     def finalize() -> dict[str, Any]:
-        stats = cache.stats()
-        lookups = stats["hits"] + stats["misses"]
         return {
             "cache": {
-                "hits": stats["hits"],
-                "misses": stats["misses"],
-                "hit_ratio": stats["hits"] / lookups if lookups else 0.0,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_ratio": round(cache.hit_ratio(), 6),
             }
         }
 
     return run, {"n": n, "m": m, "sets": sets, "size": 4096, "iters": iters}, finalize
+
+
+def _bench_service(endpoint: str, quick: bool):
+    """Warm-cache service round trips over real loopback sockets.
+
+    Boots the planning service on an ephemeral port, populates every
+    key in the pool, then times fixed-size load batches -- so
+    ``wall_seconds`` tracks the full serve path (HTTP parse, admission,
+    cache hit, canonical encode) and the ledger gates service
+    throughput the same way it gates library hot paths.  ``finalize``
+    reports client-side req/s and latency quantiles plus the
+    repository's own hit ratio.
+    """
+    from dataclasses import replace
+
+    from repro.service import LoadConfig, ServiceConfig, ServiceThread, run_load_sync
+
+    requests, conc, keys, iters = (150, 8, 12, 3) if quick else (400, 8, 16, 4)
+    svc = ServiceThread(ServiceConfig(port=0)).start()
+    load = LoadConfig(
+        host=svc.host,
+        port=svc.port,
+        endpoint=endpoint,
+        requests=requests,
+        concurrency=conc,
+        keys=keys,
+        skew=1.1,
+        n=6,
+        m=8,
+    )
+    # warm pass: populate every key so timed batches measure the hit path
+    run_load_sync(replace(load, requests=3 * keys, skew=0.0, client_id="bench-warmup"))
+    last: dict[str, Any] = {}
+
+    def run() -> None:
+        last["summary"] = run_load_sync(load)
+
+    def finalize() -> dict[str, Any]:
+        summary = last["summary"]
+        cache = svc.app.planner.cache  # type: ignore[union-attr]
+        report = {
+            "service": {
+                "requests": summary.requests,
+                "rps": round(summary.rps, 1),
+                "p50_ms": round(summary.p50_ms, 4),
+                "p99_ms": round(summary.p99_ms, 4),
+                "hit_ratio": round(summary.hit_ratio, 6),
+            },
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_ratio": round(cache.hit_ratio(), 6),
+            },
+        }
+        svc.stop()
+        return report
+
+    params = {
+        "endpoint": endpoint,
+        "requests": requests,
+        "concurrency": conc,
+        "keys": keys,
+        "iters": iters,
+    }
+    return run, params, finalize
 
 
 _BENCHMARKS: dict[str, Callable[[bool], tuple]] = {
@@ -204,6 +269,8 @@ _BENCHMARKS: dict[str, Callable[[bool], tuple]] = {
     "verify/contention": _bench_verify,
     "simulate/wsort": _bench_simulate,
     "sweep/fig11-point": _bench_sweep_point,
+    "service/schedule-warm": lambda quick: _bench_service("schedule", quick),
+    "service/simulate-warm": lambda quick: _bench_service("simulate", quick),
 }
 
 BENCHMARK_NAMES: tuple[str, ...] = tuple(_BENCHMARKS)

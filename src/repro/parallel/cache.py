@@ -60,8 +60,12 @@ __all__ = [
     "cache_key",
     "cached_delay_stats",
     "cached_schedule_table",
+    "compute_delay_stats",
+    "compute_schedule_table",
+    "delay_stats_key",
     "gc_cache_dir",
     "get_active_cache",
+    "schedule_table_key",
     "verify_cache_dir",
 ]
 
@@ -250,7 +254,18 @@ class ScheduleCache:
     def __len__(self) -> int:
         return len(self._memory)
 
-    def stats(self) -> dict[str, int]:
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup).
+
+        The one canonical hit-ratio definition -- ``hits / (hits +
+        misses)`` -- shared by the benchmark ledger, the service
+        ``/metrics`` endpoint, and anything else reporting cache
+        effectiveness, so no consumer recomputes it from raw counters.
+        """
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, int | float]:
         return {
             "entries": len(self._memory),
             "hits": self.hits,
@@ -258,6 +273,7 @@ class ScheduleCache:
             "disk_hits": self.disk_hits,
             "puts": self.puts,
             "quarantined": self.quarantined,
+            "hit_ratio": self.hit_ratio(),
         }
 
 
@@ -398,10 +414,55 @@ def get_active_cache() -> ScheduleCache | None:
 
 
 # -- cached artifacts --------------------------------------------------
+#
+# Keys and value computations are separate functions so every consumer
+# -- the cached_* helpers below, and the schedule-planning service's
+# single-flight planner (repro.service.planner) -- addresses the same
+# entry for the same inputs.  A sweep warms the service's cache and
+# vice versa.
 
 
 def _dest_key(destinations: Iterable[int]) -> list[int]:
     return sorted(int(d) for d in destinations)
+
+
+def schedule_table_key(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Iterable[int],
+    ports: PortModel,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> str:
+    """The content address of one schedule table (see :func:`cache_key`)."""
+    return cache_key(
+        "schedule",
+        algorithm=algorithm,
+        n=n,
+        source=source,
+        dests=_dest_key(destinations),
+        ports=[ports.ports, ports.name],
+        order=order.name,
+    )
+
+
+def compute_schedule_table(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Iterable[int],
+    ports: PortModel,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> dict:
+    """Build the schedule table value (cache-oblivious, JSON-safe)."""
+    from repro.multicast.registry import get_algorithm
+
+    dests = _dest_key(destinations)
+    sched = get_algorithm(algorithm).schedule(n, source, dests, ports, order)
+    return {
+        "max_step": sched.max_step,
+        "dest_steps": {str(dst): step for dst, step in sorted(sched.dest_steps.items())},
+    }
 
 
 def cached_schedule_table(
@@ -419,31 +480,69 @@ def cached_schedule_table(
     registry algorithm on a miss; served from the active cache on a
     hit.
     """
-    dests = _dest_key(destinations)
-    key = cache_key(
-        "schedule",
-        algorithm=algorithm,
-        n=n,
-        source=source,
-        dests=dests,
-        ports=[ports.ports, ports.name],
-        order=order.name,
-    )
+    key = schedule_table_key(algorithm, n, source, destinations, ports, order)
     cache = get_active_cache()
     if cache is not None:
         value = cache.get(key)
         if value is not None:
             return value  # type: ignore[return-value]
-    from repro.multicast.registry import get_algorithm
-
-    sched = get_algorithm(algorithm).schedule(n, source, dests, ports, order)
-    value = {
-        "max_step": sched.max_step,
-        "dest_steps": {str(dst): step for dst, step in sorted(sched.dest_steps.items())},
-    }
+    value = compute_schedule_table(algorithm, n, source, destinations, ports, order)
     if cache is not None:
         cache.put(key, value)
     return value
+
+
+def delay_stats_key(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Iterable[int],
+    size: int,
+    timings: Timings,
+    ports: PortModel,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> str:
+    """The content address of one delay summary (see :func:`cache_key`)."""
+    return cache_key(
+        "delay",
+        algorithm=algorithm,
+        n=n,
+        source=source,
+        dests=_dest_key(destinations),
+        size=size,
+        timings={
+            "t_setup": timings.t_setup,
+            "t_recv": timings.t_recv,
+            "t_byte": timings.t_byte,
+            "t_hop": timings.t_hop,
+        },
+        ports=[ports.ports, ports.name],
+        order=order.name,
+    )
+
+
+def compute_delay_stats(
+    algorithm: str,
+    n: int,
+    source: int,
+    destinations: Iterable[int],
+    size: int,
+    timings: Timings,
+    ports: PortModel,
+    order: ResolutionOrder = ResolutionOrder.DESCENDING,
+) -> dict:
+    """Run the wormhole simulation and summarize (cache-oblivious)."""
+    from repro.multicast.registry import get_algorithm
+    from repro.simulator.run import simulate_multicast
+
+    dests = _dest_key(destinations)
+    tree = get_algorithm(algorithm).build_tree(n, source, dests, order)
+    res = simulate_multicast(tree, size=size, timings=timings, ports=ports, label=algorithm)
+    return {
+        "avg_delay_us": res.avg_delay,
+        "max_delay_us": res.max_delay,
+        "total_blocked_us": res.total_blocked_time,
+    }
 
 
 def cached_delay_stats(
@@ -462,38 +561,13 @@ def cached_delay_stats(
     The full wormhole simulation runs on a miss; the summary triple is
     what every delay experiment consumes, so that is what is cached.
     """
-    dests = _dest_key(destinations)
-    key = cache_key(
-        "delay",
-        algorithm=algorithm,
-        n=n,
-        source=source,
-        dests=dests,
-        size=size,
-        timings={
-            "t_setup": timings.t_setup,
-            "t_recv": timings.t_recv,
-            "t_byte": timings.t_byte,
-            "t_hop": timings.t_hop,
-        },
-        ports=[ports.ports, ports.name],
-        order=order.name,
-    )
+    key = delay_stats_key(algorithm, n, source, destinations, size, timings, ports, order)
     cache = get_active_cache()
     if cache is not None:
         value = cache.get(key)
         if value is not None:
             return value  # type: ignore[return-value]
-    from repro.multicast.registry import get_algorithm
-    from repro.simulator.run import simulate_multicast
-
-    tree = get_algorithm(algorithm).build_tree(n, source, dests, order)
-    res = simulate_multicast(tree, size=size, timings=timings, ports=ports, label=algorithm)
-    value = {
-        "avg_delay_us": res.avg_delay,
-        "max_delay_us": res.max_delay,
-        "total_blocked_us": res.total_blocked_time,
-    }
+    value = compute_delay_stats(algorithm, n, source, destinations, size, timings, ports, order)
     if cache is not None:
         cache.put(key, value)
     return value

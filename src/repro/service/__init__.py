@@ -1,0 +1,73 @@
+"""Multicast planning as a service.
+
+A stdlib-only asyncio HTTP+JSON service exposing the repo's
+schedule/verify/simulate pipeline as request/response endpoints, with
+the mechanics a long-lived process needs: single-flight coalescing of
+identical in-flight builds, bounded admission (in-flight cap, wait
+queue, per-client token buckets), request deadlines, and graceful
+drain on SIGTERM.
+
+Layering (see ``docs/SERVICE.md``)::
+
+    http.py       transport: HTTP/1.1 parsing, keep-alive, drain
+    app.py        routing, deadlines, usage accounting, lifecycle
+    admission.py  the front door: caps, queue, rate limits
+    planner.py    single-flight builds over the schedule cache
+    protocol.py   request validation and canonical JSON encoding
+    loadgen.py    the load-generator client
+    soak.py       in-process soak harness (service + load, one call)
+"""
+
+from repro.service.admission import AdmissionConfig, AdmissionController, Rejected
+from repro.service.app import ServiceApp, ServiceConfig, ServiceThread, serve_async
+from repro.service.planner import PlannerService, PlanResult
+from repro.service.protocol import PlanRequest, ProtocolError, encode_json, parse_plan_request
+
+# The client side (loadgen, soak) loads lazily so `python -m
+# repro.service.loadgen` does not re-import the module runpy is about
+# to execute (which would trip RuntimeWarning and double-run module
+# state).
+_LAZY = {
+    "LoadConfig": "repro.service.loadgen",
+    "LoadSummary": "repro.service.loadgen",
+    "run_load": "repro.service.loadgen",
+    "run_load_sync": "repro.service.loadgen",
+    "SoakConfig": "repro.service.soak",
+    "SoakReport": "repro.service.soak",
+    "run_soak": "repro.service.soak",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "LoadConfig",
+    "LoadSummary",
+    "PlanRequest",
+    "PlanResult",
+    "PlannerService",
+    "ProtocolError",
+    "Rejected",
+    "ServiceApp",
+    "ServiceConfig",
+    "ServiceThread",
+    "SoakConfig",
+    "SoakReport",
+    "encode_json",
+    "parse_plan_request",
+    "run_load",
+    "run_load_sync",
+    "run_soak",
+    "serve_async",
+]

@@ -1,0 +1,90 @@
+"""Soak harness: boot the service in-process, drive load, report.
+
+One call -- :func:`run_soak` -- owns the whole lifecycle: start a
+:class:`~repro.service.app.ServiceThread` on an ephemeral port, run the
+configured :mod:`~repro.service.loadgen` workload against it over real
+sockets, then drain and merge what both sides observed:
+
+* client side: req/s, p50/p99 latency, observed hit ratio;
+* server side: builds vs coalesced vs cache hits, admission rejections,
+  the repository's own :meth:`~repro.parallel.cache.ScheduleCache.hit_ratio`.
+
+The benchmark ledger (``repro.obs.ledger``) wraps this to commit
+``service.*`` entries; the CI smoke job and ``examples/service_load.py``
+use it directly.  A warm-up pass (same keys, not measured) is run first
+so steady-state entries measure the cache-hit path, not one-time builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.service.app import ServiceConfig, ServiceThread
+from repro.service.loadgen import LoadConfig, LoadSummary, run_load_sync
+
+__all__ = ["SoakConfig", "SoakReport", "run_soak"]
+
+
+@dataclass(frozen=True, slots=True)
+class SoakConfig:
+    """One self-contained soak: service knobs + workload knobs."""
+
+    service: ServiceConfig = field(default_factory=lambda: ServiceConfig(port=0))
+    load: LoadConfig = field(default_factory=LoadConfig)
+    #: requests issued before measurement to populate the cache
+    #: (0 disables; defaults to one pass over the key pool).
+    warmup_requests: int | None = None
+
+
+@dataclass(slots=True)
+class SoakReport:
+    """Client-side summary plus the server's own counters."""
+
+    summary: LoadSummary
+    server: dict
+
+    def as_dict(self) -> dict:
+        return {"client": self.summary.as_dict(), "server": self.server}
+
+
+def run_soak(config: SoakConfig | None = None) -> SoakReport:
+    """Run one soak end to end; blocking, suitable for benchmarks."""
+    config = config if config is not None else SoakConfig()
+    with ServiceThread(config.service) as svc:
+        load = replace(config.load, host=svc.host, port=svc.port)
+        warmup = (
+            config.warmup_requests
+            if config.warmup_requests is not None
+            else load.keys
+        )
+        if warmup > 0:
+            # cover every key deterministically: skew=0 with exactly one
+            # pass is not guaranteed to touch all keys, so oversample
+            run_load_sync(
+                replace(
+                    load,
+                    requests=max(warmup, 3 * load.keys),
+                    skew=0.0,
+                    arrival="closed",
+                    client_id="soak-warmup",
+                )
+            )
+        summary = run_load_sync(load)
+        app = svc.app
+        assert app is not None
+        counters = {
+            name: app.metrics.counter(name).value
+            for name in (
+                "sim.service.requests",
+                "sim.service.builds",
+                "sim.service.coalesced",
+                "sim.service.rejected_rate",
+                "sim.service.rejected_capacity",
+                "sim.service.build_errors",
+            )
+        }
+        server = {
+            "counters": counters,
+            "cache": app.planner.cache.stats(),
+        }
+    return SoakReport(summary=summary, server=server)

@@ -51,8 +51,19 @@ class TestLayers:
         assert cache.get(key) == {"v": 2}
         assert cache.stats() == {
             "entries": 1, "hits": 1, "misses": 1, "disk_hits": 0, "puts": 1,
-            "quarantined": 0,
+            "quarantined": 0, "hit_ratio": 0.5,
         }
+
+    def test_hit_ratio(self):
+        cache = ScheduleCache()
+        assert cache.hit_ratio() == 0.0  # no lookups yet
+        key = cache_key("t", x=1)
+        cache.get(key)  # miss
+        cache.put(key, {"v": 1})
+        cache.get(key)
+        cache.get(key)  # two hits
+        assert cache.hit_ratio() == pytest.approx(2 / 3)
+        assert cache.stats()["hit_ratio"] == pytest.approx(2 / 3)
 
     def test_disk_shared_between_instances(self, tmp_path):
         writer = ScheduleCache(tmp_path)

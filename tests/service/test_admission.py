@@ -1,0 +1,170 @@
+"""Tests for admission control: caps, queueing, rate limits."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    Rejected,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_tokens_accrue_with_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) > 0.0
+        assert bucket.try_take(1.0) == 0.0  # 2 tokens accrued, capped at 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue=-1)
+
+
+def _controller(**over) -> AdmissionController:
+    return AdmissionController(AdmissionConfig(**over), MetricsRegistry())
+
+
+class TestAdmissionController:
+    def test_admits_under_cap(self):
+        async def scenario():
+            ctl = _controller(max_inflight=2)
+            async with ctl.slot("a"):
+                async with ctl.slot("b"):
+                    assert ctl.inflight == 2
+            assert ctl.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_queues_then_hands_slot_over(self):
+        async def scenario():
+            ctl = _controller(max_inflight=1, max_queue=4)
+            order: list[str] = []
+
+            async def holder(name: str, gate: asyncio.Event):
+                async with ctl.slot(name):
+                    order.append(name)
+                    await gate.wait()
+
+            gate_a = asyncio.Event()
+            gate_b = asyncio.Event()
+            task_a = asyncio.ensure_future(holder("a", gate_a))
+            await asyncio.sleep(0.01)
+            task_b = asyncio.ensure_future(holder("b", gate_b))
+            await asyncio.sleep(0.01)
+            assert order == ["a"]
+            assert ctl.queued == 1
+            gate_a.set()
+            gate_b.set()
+            await asyncio.gather(task_a, task_b)
+            assert order == ["a", "b"]
+            assert ctl.inflight == 0
+            assert ctl.queued == 0
+
+        asyncio.run(scenario())
+
+    def test_full_queue_rejects_503(self):
+        async def scenario():
+            ctl = _controller(max_inflight=1, max_queue=0, retry_after_s=2.0)
+            gate = asyncio.Event()
+
+            async def holder():
+                async with ctl.slot("a"):
+                    await gate.wait()
+
+            task = asyncio.ensure_future(holder())
+            await asyncio.sleep(0.01)
+            with pytest.raises(Rejected) as exc_info:
+                async with ctl.slot("b"):
+                    pass
+            assert exc_info.value.status == 503
+            assert exc_info.value.retry_after_s == 2.0
+            gate.set()
+            await task
+
+        asyncio.run(scenario())
+
+    def test_rate_limit_rejects_429_per_client(self):
+        async def scenario():
+            ctl = _controller(rate_per_client=1.0, burst=2.0)
+            for _ in range(2):
+                async with ctl.slot("hot"):
+                    pass
+            with pytest.raises(Rejected) as exc_info:
+                async with ctl.slot("hot"):
+                    pass
+            assert exc_info.value.status == 429
+            assert exc_info.value.retry_after_s > 0.0
+            # a different client has its own bucket
+            async with ctl.slot("cold"):
+                pass
+
+        asyncio.run(scenario())
+
+    def test_cancelled_waiter_does_not_leak_slot(self):
+        async def scenario():
+            ctl = _controller(max_inflight=1, max_queue=4)
+            gate = asyncio.Event()
+
+            async def holder():
+                async with ctl.slot("a"):
+                    await gate.wait()
+
+            async def waiter():
+                async with ctl.slot("b"):
+                    pass
+
+            hold_task = asyncio.ensure_future(holder())
+            await asyncio.sleep(0.01)
+            wait_task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)
+            wait_task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await wait_task
+            gate.set()
+            await hold_task
+            assert ctl.inflight == 0
+            # capacity fully restored: a fresh request admits instantly
+            async with ctl.slot("c"):
+                assert ctl.inflight == 1
+
+        asyncio.run(scenario())
+
+    def test_metrics_track_rejections(self):
+        async def scenario():
+            registry = MetricsRegistry()
+            ctl = AdmissionController(
+                AdmissionConfig(rate_per_client=1.0, burst=1.0), registry
+            )
+            async with ctl.slot("x"):
+                pass
+            with pytest.raises(Rejected):
+                async with ctl.slot("x"):
+                    pass
+            assert registry.counter("sim.service.rejected_rate").value == 1.0
+
+        asyncio.run(scenario())

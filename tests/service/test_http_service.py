@@ -1,0 +1,274 @@
+"""End-to-end service tests over real loopback sockets.
+
+Covers the full layering (HTTP parse -> routing -> admission ->
+planner -> cache), the golden parity of service responses against
+direct library calls for fig-9/fig-11-style points, HTTP-level
+coalescing, deadlines, and graceful drain.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis.workloads import random_destination_sets
+from repro.parallel.cache import compute_delay_stats, compute_schedule_table
+from repro.core.paths import ResolutionOrder
+from repro.multicast.ports import ALL_PORT
+from repro.service import AdmissionConfig, ServiceConfig, ServiceThread
+from repro.simulator.params import NCUBE2
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ServiceThread(ServiceConfig(port=0)) as svc:
+        yield svc
+
+
+def _post(svc, path, doc, headers=None, timeout=30):
+    req = urllib.request.Request(
+        f"http://{svc.host}:{svc.port}{path}",
+        data=json.dumps(doc).encode(),
+        method="POST",
+        headers=headers or {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _get(svc, path):
+    try:
+        with urllib.request.urlopen(f"http://{svc.host}:{svc.port}{path}", timeout=30) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+DOC = {"algorithm": "wsort", "n": 5, "source": 0, "destinations": [1, 2, 3, 9, 17]}
+
+
+class TestEndpoints:
+    def test_schedule_round_trip(self, service):
+        status, body, _ = _post(service, "/v1/schedule", DOC)
+        assert status == 200
+        assert body["source"] in ("build", "cache")
+        assert body["request"]["m"] == 5
+        status2, body2, _ = _post(service, "/v1/schedule", DOC)
+        assert status2 == 200
+        assert body2["source"] == "cache"
+        assert body2["result"] == body["result"]
+
+    def test_verify_round_trip(self, service):
+        status, body, _ = _post(service, "/v1/verify", DOC)
+        assert status == 200
+        assert body["result"]["ok"] is True
+
+    def test_simulate_round_trip(self, service):
+        status, body, _ = _post(service, "/v1/simulate", dict(DOC, size=4096))
+        assert status == 200
+        assert body["result"]["avg_delay_us"] > 0
+
+    def test_health(self, service):
+        status, raw = _get(service, "/health")
+        doc = json.loads(raw)
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["cache_entries"] >= 1
+
+    def test_metrics_prometheus_text_parses(self, service):
+        _post(service, "/v1/schedule", DOC)  # ensure some traffic exists
+        status, raw = _get(service, "/metrics")
+        assert status == 200
+        text = raw.decode()
+        samples = {}
+        for line in text.splitlines():
+            assert line, "no blank lines in exposition"
+            if line.startswith("#"):
+                assert line.startswith(("# HELP", "# TYPE"))
+                continue
+            name, value = line.rsplit(" ", 1)
+            samples[name] = float(value)  # every sample line parses
+        assert samples["repro_sim_service_requests"] >= 1
+        assert 0.0 <= samples["repro_sim_service_cache_hit_ratio"] <= 1.0
+
+    def test_usage_accounting(self, service):
+        _post(service, "/v1/schedule", DOC, headers={"X-Client-Id": "usage-test"})
+        _post(service, "/v1/schedule", DOC, headers={"X-Client-Id": "usage-test"})
+        status, raw = _get(service, "/v1/usage")
+        doc = json.loads(raw)
+        assert status == 200
+        usage = doc["clients"]["usage-test"]
+        assert usage["requests"] >= 2
+        assert usage["cache_hits"] >= 1
+        assert usage["bytes_in"] > 0
+        assert usage["bytes_out"] > 0
+
+
+class TestErrors:
+    def test_unknown_path_404(self, service):
+        status, _ = _get(service, "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, service):
+        status, _ = _get(service, "/v1/schedule")
+        assert status == 405
+
+    def test_bad_body_400(self, service):
+        status, body, _ = _post(service, "/v1/schedule", {"n": 99, "destinations": [1]})
+        assert status == 400
+        assert "must be in" in body["error"]
+
+    def test_invalid_json_400(self, service):
+        req = urllib.request.Request(
+            f"http://{service.host}:{service.port}/v1/schedule",
+            data=b"{torn", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=30)
+        assert exc_info.value.code == 400
+
+    def test_oversized_body_413(self, service):
+        big = json.dumps(dict(DOC, padding="x" * ((1 << 20) + 1024))).encode()
+        req = urllib.request.Request(
+            f"http://{service.host}:{service.port}/v1/schedule",
+            data=big, method="POST",
+        )
+        # the server answers 413 from the headers alone and closes; the
+        # client may observe either the response or the early close
+        try:
+            urllib.request.urlopen(req, timeout=30)
+            outcome = 200
+        except urllib.error.HTTPError as exc:
+            outcome = exc.code
+        except (urllib.error.URLError, ConnectionError):
+            outcome = "closed"
+        assert outcome in (413, "closed")
+
+    def test_bad_deadline_header_400(self, service):
+        status, body, _ = _post(
+            service, "/v1/schedule", DOC, headers={"X-Deadline-Ms": "soon"}
+        )
+        assert status == 400
+        assert "X-Deadline-Ms" in body["error"]
+
+
+class TestGoldenParity:
+    """Service responses are byte-for-byte the library's own answers."""
+
+    def test_fig9_style_schedule_points(self, service):
+        n = 6
+        for dests in random_destination_sets(n, 12, 3, seed=42):
+            doc = {"algorithm": "wsort", "n": n, "source": 0, "destinations": dests}
+            status, body, _ = _post(service, "/v1/schedule", doc)
+            assert status == 200
+            expected = compute_schedule_table(
+                "wsort", n, 0, tuple(sorted(dests)), ALL_PORT, ResolutionOrder.DESCENDING
+            )
+            assert json.loads(json.dumps(expected)) == body["result"]
+
+    def test_fig11_style_simulate_points(self, service):
+        n = 5
+        for dests in random_destination_sets(n, 8, 3, seed=43):
+            doc = {
+                "algorithm": "wsort", "n": n, "source": 0,
+                "destinations": dests, "size": 4096,
+            }
+            status, body, _ = _post(service, "/v1/simulate", doc)
+            assert status == 200
+            expected = compute_delay_stats(
+                "wsort", n, 0, tuple(sorted(dests)), 4096, NCUBE2,
+                ALL_PORT, ResolutionOrder.DESCENDING,
+            )
+            assert json.loads(json.dumps(expected)) == body["result"]
+
+
+class TestHttpCoalescing:
+    def test_concurrent_identical_requests_one_build_identical_bytes(self):
+        """64 concurrent identical requests over real sockets: at most one
+        build, byte-identical response bodies."""
+        config = ServiceConfig(port=0, build_delay_s=0.1, workers=2)
+        with ServiceThread(config) as svc:
+            doc = {"algorithm": "wsort", "n": 6, "destinations": [1, 2, 4, 8, 16, 32, 63]}
+            payload = json.dumps(doc).encode()
+            bodies: list[bytes] = []
+            errors: list[Exception] = []
+            lock = threading.Lock()
+
+            def fire():
+                req = urllib.request.Request(
+                    f"http://{svc.host}:{svc.port}/v1/schedule",
+                    data=payload, method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(req, timeout=60) as resp:
+                        raw = resp.read()
+                    with lock:
+                        bodies.append(raw)
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    with lock:
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=fire) for _ in range(64)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            registry = svc.app.metrics
+            builds = registry.counter("sim.service.builds").value
+            served = registry.counter("sim.service.requests").value
+        assert not errors
+        assert len(bodies) == 64
+        assert len(set(bodies)) == 1  # byte-identical for the whole group
+        assert builds == 1.0  # exactly one build per unique key
+        assert served >= 64
+
+
+class TestDeadlines:
+    def test_slow_build_times_out_504(self):
+        config = ServiceConfig(port=0, build_delay_s=0.5)
+        with ServiceThread(config) as svc:
+            status, body, _ = _post(
+                svc, "/v1/schedule", DOC, headers={"X-Deadline-Ms": "50"}
+            )
+            assert status == 504
+            assert "deadline" in body["error"]
+
+
+class TestRateLimiting:
+    def test_429_with_retry_after(self):
+        config = ServiceConfig(
+            port=0, admission=AdmissionConfig(rate_per_client=1.0, burst=2.0)
+        )
+        with ServiceThread(config) as svc:
+            statuses = []
+            headers = {}
+            for _ in range(4):
+                status, _, hdrs = _post(
+                    svc, "/v1/schedule", DOC, headers={"X-Client-Id": "storm"}
+                )
+                statuses.append(status)
+                if status == 429:
+                    headers = hdrs
+            assert 429 in statuses
+            assert int(headers["Retry-After"]) >= 1
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_closes(self):
+        svc = ServiceThread(ServiceConfig(port=0)).start()
+        host, port = svc.host, svc.port
+        status, body, _ = _post(svc, "/v1/schedule", DOC)
+        assert status == 200
+        svc.stop()
+        # after drain the socket no longer accepts connections
+        with pytest.raises(OSError):
+            with socket.create_connection((host, port), timeout=2):
+                pass

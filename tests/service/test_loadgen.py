@@ -1,0 +1,151 @@
+"""Tests for the load generator: config, skew, gates, telemetry."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.sink import RotatingJsonlSink, read_jsonl
+from repro.service import LoadConfig, ServiceConfig, ServiceThread
+from repro.service.loadgen import _ZipfPicker, main, run_load_sync
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ServiceThread(ServiceConfig(port=0)) as svc:
+        yield svc
+
+
+class TestLoadConfig:
+    @pytest.mark.parametrize(
+        "over",
+        [
+            {"endpoint": "teleport"},
+            {"arrival": "bursty"},
+            {"requests": 0},
+            {"concurrency": 0},
+            {"m": 64, "n": 6},  # m >= 2^n
+            {"keys": 0},
+            {"skew": -1.0},
+            {"rate": 0.0},
+        ],
+    )
+    def test_validation(self, over):
+        with pytest.raises(ValueError):
+            LoadConfig(**over)
+
+
+class TestZipfPicker:
+    def test_zero_skew_is_roughly_uniform(self):
+        picker = _ZipfPicker(4, 0.0, random.Random(7))
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[picker.pick()] += 1
+        assert min(counts) > 800  # ~1000 each
+
+    def test_positive_skew_concentrates_on_rank_zero(self):
+        picker = _ZipfPicker(16, 1.5, random.Random(7))
+        counts = [0] * 16
+        for _ in range(4000):
+            counts[picker.pick()] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > 4000 / 4  # far above the uniform share
+
+
+class TestRunLoad:
+    def test_closed_loop_against_live_service(self, service):
+        summary = run_load_sync(
+            LoadConfig(
+                host=service.host, port=service.port,
+                requests=60, concurrency=4, keys=4, n=5, m=6,
+            )
+        )
+        assert summary.requests == 60
+        assert summary.ok == 60
+        assert summary.statuses == {200: 60}
+        assert summary.builds >= 1
+        assert summary.cache_hits + summary.builds == 60
+        assert summary.rps > 0
+        assert summary.p99_ms >= summary.p50_ms > 0
+
+    def test_poisson_arrival(self, service):
+        summary = run_load_sync(
+            LoadConfig(
+                host=service.host, port=service.port,
+                requests=20, concurrency=4, keys=2, n=5, m=4,
+                arrival="poisson", rate=2000.0,
+            )
+        )
+        assert summary.ok == 20
+
+    def test_repeated_key_workload_hits_cache(self, service):
+        config = LoadConfig(
+            host=service.host, port=service.port,
+            requests=100, concurrency=4, keys=3, n=5, m=5, skew=1.1,
+            seed=99,
+        )
+        run_load_sync(config)  # warm
+        summary = run_load_sync(config)
+        assert summary.hit_ratio > 0.9
+
+    def test_telemetry_records_and_rotation(self, service, tmp_path):
+        path = tmp_path / "load.jsonl"
+        sink = RotatingJsonlSink(str(path), max_bytes=2048)
+        run_load_sync(
+            LoadConfig(
+                host=service.host, port=service.port,
+                requests=40, concurrency=2, keys=2, n=5, m=4,
+            ),
+            telemetry=sink,
+        )
+        assert sink.written == 40
+        assert sink.rotations >= 1
+        total = sum(len(read_jsonl(seg)) for seg in sink.segments())
+        assert total == 40
+        rec = read_jsonl(sink.segments()[0])[0]
+        assert rec.kind == "service-request"
+        assert rec.extra["status"] == 200
+        assert rec.extra["source"] in ("cache", "build")
+
+
+class TestMain:
+    def test_summary_and_gates_pass(self, service, capsys):
+        rc = main(
+            [
+                "--port", str(service.port), "--host", service.host,
+                "--requests", "60", "--concurrency", "4",
+                "--keys", "3", "--n", "5", "--m", "4",
+                "--min-hit-ratio", "0.5", "--max-p99-ms", "5000",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["requests"] == 60
+        assert doc["hit_ratio"] >= 0.5
+
+    def test_gate_failure_exits_one(self, service, capsys):
+        rc = main(
+            [
+                "--port", str(service.port), "--host", service.host,
+                "--requests", "10", "--keys", "2", "--n", "5", "--m", "4",
+                "--min-hit-ratio", "1.01",  # unattainable
+            ]
+        )
+        assert rc == 1
+        assert "gate failed" in capsys.readouterr().err
+
+    def test_bad_args_exit_two(self, service):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--port", str(service.port), "--requests", "0"])
+        assert exc_info.value.code == 2
+
+    def test_unreachable_service_exits_one(self, capsys):
+        # connection refusals surface as transport errors; with zero
+        # successful responses the implicit gate fails the run
+        rc = main(["--port", "1", "--requests", "5", "--concurrency", "1"])
+        assert rc == 1
+        assert "no successful responses" in capsys.readouterr().err

@@ -1,0 +1,195 @@
+"""Tests for the single-flight planner: coalescing, caching, errors."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.cache import ScheduleCache, schedule_table_key
+from repro.service.planner import PlannerService
+from repro.service.protocol import encode_json, parse_plan_request
+
+DOC = {"algorithm": "wsort", "n": 6, "source": 0, "destinations": [1, 3, 5, 9, 17, 33]}
+
+
+def _planner(**over) -> tuple[PlannerService, MetricsRegistry]:
+    registry = MetricsRegistry()
+    svc = PlannerService(cache=ScheduleCache(), metrics=registry, **over)
+    return svc, registry
+
+
+class TestCoalescing:
+    def test_64_concurrent_identical_requests_build_once(self):
+        """The headline property: N identical in-flight requests perform
+        exactly one build, and every caller serializes byte-identically."""
+
+        async def scenario():
+            svc, registry = _planner(build_delay_s=0.05, max_workers=2)
+            req = parse_plan_request(DOC, "schedule")
+            try:
+                results = await asyncio.gather(*(svc.schedule(req) for _ in range(64)))
+            finally:
+                svc.close()
+            return results, registry
+
+        results, registry = asyncio.run(scenario())
+        assert registry.counter("sim.service.builds").value == 1.0
+        assert registry.counter("sim.service.coalesced").value == 63.0
+        bodies = {encode_json(r.value) for r in results}
+        assert len(bodies) == 1
+        assert all(r.source == "build" for r in results)
+        keys = {r.key for r in results}
+        assert len(keys) == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            svc, registry = _planner(build_delay_s=0.02)
+            req_a = parse_plan_request(DOC, "schedule")
+            req_b = parse_plan_request(dict(DOC, destinations=[2, 4, 6]), "schedule")
+            try:
+                await asyncio.gather(svc.schedule(req_a), svc.schedule(req_b))
+            finally:
+                svc.close()
+            return registry
+
+        registry = asyncio.run(scenario())
+        assert registry.counter("sim.service.builds").value == 2.0
+        assert registry.counter("sim.service.coalesced").value == 0.0
+
+    def test_waiter_cancellation_does_not_kill_the_build(self):
+        async def scenario():
+            svc, registry = _planner(build_delay_s=0.05)
+            req = parse_plan_request(DOC, "schedule")
+            try:
+                follower = asyncio.ensure_future(svc.schedule(req))
+                victim = asyncio.ensure_future(svc.schedule(req))
+                await asyncio.sleep(0.01)
+                victim.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await victim
+                result = await follower
+            finally:
+                svc.close()
+            return result, registry
+
+        result, registry = asyncio.run(scenario())
+        assert result.value  # the surviving waiter got the built value
+        assert registry.counter("sim.service.builds").value == 1.0
+        assert registry.counter("sim.service.build_errors").value == 0.0
+
+    def test_inflight_empties_after_builds(self):
+        async def scenario():
+            svc, _ = _planner(build_delay_s=0.01)
+            req = parse_plan_request(DOC, "schedule")
+            try:
+                await asyncio.gather(*(svc.schedule(req) for _ in range(4)))
+                await asyncio.sleep(0)  # let done callbacks run
+                return svc.inflight_builds()
+            finally:
+                svc.close()
+
+        assert asyncio.run(scenario()) == 0
+
+
+class TestCacheIntegration:
+    def test_second_round_is_cache_sourced(self):
+        async def scenario():
+            svc, registry = _planner()
+            req = parse_plan_request(DOC, "schedule")
+            try:
+                first = await svc.schedule(req)
+                second = await svc.schedule(req)
+            finally:
+                svc.close()
+            return first, second, registry
+
+        first, second, registry = asyncio.run(scenario())
+        assert first.source == "build"
+        assert second.source == "cache"
+        assert encode_json(first.value) == encode_json(second.value)
+        assert registry.counter("sim.service.builds").value == 1.0
+
+    def test_service_addresses_the_sweep_cache_entries(self):
+        """A warm sweep cache serves the service without a rebuild."""
+        from repro.core.paths import ResolutionOrder
+        from repro.multicast.ports import ALL_PORT
+        from repro.parallel.cache import activate_cache, cached_schedule_table
+
+        cache = ScheduleCache()
+        previous = activate_cache(cache)
+        try:
+            dests = sorted(DOC["destinations"])
+            cached_schedule_table(
+                "wsort", 6, 0, dests, ALL_PORT, ResolutionOrder.DESCENDING
+            )
+        finally:
+            activate_cache(previous)
+
+        async def scenario():
+            registry = MetricsRegistry()
+            svc = PlannerService(cache=cache, metrics=registry)
+            req = parse_plan_request(DOC, "schedule")
+            try:
+                return await svc.schedule(req), registry
+            finally:
+                svc.close()
+
+        result, registry = asyncio.run(scenario())
+        assert result.source == "cache"
+        assert registry.counter("sim.service.builds").value == 0.0
+        assert result.key == schedule_table_key(
+            "wsort", 6, 0, tuple(sorted(DOC["destinations"])),
+            ALL_PORT, ResolutionOrder.DESCENDING,
+        )
+
+
+class TestVerifyAndSimulate:
+    def test_verify_reports_ok(self):
+        async def scenario():
+            svc, _ = _planner()
+            req = parse_plan_request(DOC, "verify")
+            try:
+                return await svc.verify(req)
+            finally:
+                svc.close()
+
+        result = asyncio.run(scenario())
+        assert result.value["ok"] is True
+        assert result.value["errors"] == []
+        assert result.value["max_step"] >= 1
+
+    def test_simulate_returns_delay_stats(self):
+        async def scenario():
+            svc, _ = _planner()
+            req = parse_plan_request(dict(DOC, size=4096), "simulate")
+            try:
+                return await svc.simulate(req)
+            finally:
+                svc.close()
+
+        result = asyncio.run(scenario())
+        assert set(result.value) >= {"avg_delay_us", "max_delay_us"}
+
+
+class TestBuildErrors:
+    def test_build_error_propagates_and_counts(self):
+        async def scenario():
+            svc, registry = _planner()
+
+            def boom():
+                raise RuntimeError("kaput")
+
+            try:
+                with pytest.raises(RuntimeError, match="kaput"):
+                    await svc._resolve("deadbeef", boom)
+                await asyncio.sleep(0)
+            finally:
+                svc.close()
+            return registry, svc
+
+        registry, svc = asyncio.run(scenario())
+        assert registry.counter("sim.service.build_errors").value == 1.0
+        assert svc.inflight_builds() == 0
+        assert svc.cache.get("deadbeef") is None  # failures are not cached

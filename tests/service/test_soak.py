@@ -1,0 +1,34 @@
+"""Tests for the in-process soak harness."""
+
+from __future__ import annotations
+
+from repro.service import LoadConfig, ServiceConfig, SoakConfig, run_soak
+
+
+class TestRunSoak:
+    def test_warm_soak_measures_the_hit_path(self):
+        report = run_soak(
+            SoakConfig(
+                service=ServiceConfig(port=0),
+                load=LoadConfig(requests=80, concurrency=4, keys=4, n=5, m=5),
+            )
+        )
+        assert report.summary.ok == 80
+        # the warm-up pass built every key, so the measured run is hits
+        assert report.summary.hit_ratio > 0.9
+        assert report.server["counters"]["sim.service.builds"] == 4.0
+        assert report.server["cache"]["hit_ratio"] > 0.9
+        doc = report.as_dict()
+        assert doc["client"]["requests"] == 80
+        assert "counters" in doc["server"]
+
+    def test_warmup_disabled(self):
+        report = run_soak(
+            SoakConfig(
+                service=ServiceConfig(port=0),
+                load=LoadConfig(requests=30, concurrency=2, keys=3, n=5, m=4),
+                warmup_requests=0,
+            )
+        )
+        assert report.summary.ok == 30
+        assert report.summary.builds >= 1  # cold start visible to the client

@@ -396,6 +396,88 @@ class TestStatsFromFile:
         assert proc.returncode == 2
         assert "error: cannot read telemetry file" in proc.stderr
 
+    def test_gzipped_telemetry_summarizes(self, capsys, tmp_path, monkeypatch):
+        """Rotated ``.gz`` segments load exactly like plain JSONL."""
+        import gzip
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        plain = tmp_path / "stats.jsonl"
+        assert main(["stats", "-n", "3", "-d", "1,2,3", "--telemetry", str(plain)]) == 0
+        capsys.readouterr()
+        gz = tmp_path / "stats.jsonl.1.gz"
+        with gzip.open(gz, "wb") as f:
+            f.write(plain.read_bytes())
+        rc = main(["stats", "--from", str(gz)])
+        assert rc == 0
+        assert "1 record(s)" in capsys.readouterr().out
+
+    def test_truncated_gzip_exits_two(self, capsys, tmp_path, monkeypatch):
+        import gzip
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        plain = tmp_path / "stats.jsonl"
+        for dests in ("1,2,3", "1,5", "2,6,7"):
+            assert main(["stats", "-n", "3", "-d", dests, "--telemetry", str(plain)]) == 0
+        capsys.readouterr()
+        gz = tmp_path / "stats.jsonl.1.gz"
+        with gzip.open(gz, "wb") as f:
+            f.write(plain.read_bytes())
+        data = gz.read_bytes()
+        gz.write_bytes(data[: len(data) // 2])  # damage the stream
+        rc = main(["stats", "--from", str(gz)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: corrupt telemetry file" in err
+        assert "Traceback" not in err
+
+
+class TestServe:
+    """The ``serve`` subcommand's exit-code contract."""
+
+    def test_bad_port_exits_two(self, capsys):
+        rc = main(["serve", "--port", "70000"])
+        assert rc == 2
+        assert "port must be in" in capsys.readouterr().err
+
+    def test_bad_workers_exits_two(self, capsys):
+        rc = main(["serve", "--port", "0", "--workers", "0"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bad_admission_exits_two(self, capsys):
+        rc = main(["serve", "--port", "0", "--max-inflight", "0"])
+        assert rc == 2
+        assert "max_inflight" in capsys.readouterr().err
+
+    def test_sigterm_drains_and_exits_zero(self):
+        """Boot the real process, serve one request, SIGTERM, expect a
+        clean drain and exit code 0."""
+        import json as _json
+        import signal
+        import urllib.request
+
+        env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving on http://")
+            base = banner.split(" on ")[1]
+            body = _json.dumps({"n": 4, "destinations": [1, 2, 3]}).encode()
+            req = urllib.request.Request(base + "/v1/schedule", data=body, method="POST")
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                assert resp.status == 200
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "drained: clean" in err
+
 
 class TestTraceSubcommand:
     def test_trace_writes_perfetto_loadable_json(self, capsys, tmp_path):

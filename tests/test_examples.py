@@ -134,3 +134,14 @@ def test_stencil_exchange(capsys):
     # the embedding run must show zero blocking
     gray_line = next(ln for ln in out.splitlines() if "Gray-code" in ln)
     assert "blocking        0 us" in gray_line
+
+
+def test_service_load(capsys):
+    out = run_example("service_load.py", capsys)
+    assert "service up at http://" in out
+    assert "max step" in out
+    assert "req/s" in out and "p99" in out
+    assert "hit ratio" in out
+    assert "per-client usage (/v1/usage)" in out
+    assert "example-load" in out
+    assert "service drained cleanly" in out
