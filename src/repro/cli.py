@@ -31,6 +31,11 @@ Subcommands:
 - ``serve`` -- run the schedule-planning HTTP service (coalescing,
   admission control, graceful drain on SIGTERM); see docs/SERVICE.md.
   Drive it with ``python -m repro.service.loadgen``.
+- ``lint`` -- run the project-invariant static analysis (determinism,
+  timing/async/exception hygiene, exit-code and telemetry-naming
+  contracts) over the tree; ``0`` clean, ``1`` findings, ``2`` for
+  usage errors or a corrupt baseline.  ``--update-baseline`` rewrites
+  the committed grandfather file; see docs/STATIC_ANALYSIS.md.
 
 ``experiment``, ``collective``, ``stats``, ``faults``, and ``sweep``
 accept ``--telemetry PATH`` to export structured
@@ -390,6 +395,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"  {reg}", file=sys.stderr)
         return 1
     print(f"no regressions vs {previous['recorded_at']} (threshold {threshold:g}x)")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lint import RULES, lint_paths, load_baseline, save_baseline, split_findings
+    from repro.lint.baseline import BaselineError
+
+    paths = args.paths or ["src"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    unknown_rules = [r for r in (args.select or []) if r.upper() not in RULES]
+    if unknown_rules:
+        print(
+            f"lint: unknown rule(s): {', '.join(unknown_rules)} "
+            f"(known: {', '.join(sorted(RULES))})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_baseline(args.baseline)
+    except BaselineError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    result = lint_paths(paths, jobs=_resolve_jobs(args))
+    if args.select:
+        selected = {r.upper() for r in args.select}
+        result.findings = [f for f in result.findings if f.rule in selected]
+    new, baselined = split_findings(result.findings, baseline)
+
+    if args.update_baseline:
+        report_only: dict[str, int] = {}
+        for tree in ("tests", "examples"):
+            if os.path.isdir(tree):
+                report_only[tree] = len(lint_paths([tree]).findings)
+        save_baseline(args.baseline, result.findings, report_only)
+        counts = ", ".join(f"{tree}: {n}" for tree, n in sorted(report_only.items()))
+        print(
+            f"baseline {args.baseline}: {len(result.findings)} grandfathered "
+            f"finding(s); report-only counts {{{counts}}}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(
+            _json.dumps(
+                {
+                    "schema": 1,
+                    "paths": list(paths),
+                    "files": result.files,
+                    "counts": {
+                        "findings": len(result.findings),
+                        "new": len(new),
+                        "waived": result.waived,
+                        "baselined": baselined,
+                    },
+                    "findings": [finding.to_dict() for finding in new],
+                    "clean": not new,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.format())
+        verdict = "clean" if not new else f"{len(new)} new finding(s)"
+        print(
+            f"lint: {result.files} file(s) checked, {verdict} "
+            f"({result.waived} waived, {baselined} baselined)"
+        )
+    if new and not args.report_only:
+        return 1
     return 0
 
 
@@ -950,6 +1030,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cg.add_argument("cache_dir", metavar="PATH")
     p_cg.set_defaults(func=_cmd_cache_gc)
+
+    p_lint = sub.add_parser(
+        "lint", help="project-invariant static analysis (REP001..REP006)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="findings as human-readable lines or one JSON document",
+    )
+    p_lint.add_argument(
+        "--baseline", default="lint-baseline.json", metavar="PATH",
+        help="committed grandfather file (default: lint-baseline.json; "
+             "missing file = empty baseline, corrupt file = exit 2)",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and record "
+             "report-only counts for tests/ and examples/",
+    )
+    p_lint.add_argument(
+        "--report-only", action="store_true",
+        help="print findings but exit 0 (advisory sweeps over tests/examples)",
+    )
+    p_lint.add_argument(
+        "--select", nargs="+", default=None, metavar="RULE",
+        help="only report these rule ids (e.g. REP002 REP004)",
+    )
+    p_lint.add_argument(
+        "--parallel", action="store_true",
+        help="fan files across worker processes (CPU count / REPRO_JOBS)",
+    )
+    p_lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker process count (implies --parallel; 1 = serial)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_serve = sub.add_parser(
         "serve", help="run the schedule-planning HTTP service until SIGTERM"

@@ -1,0 +1,145 @@
+"""The committed findings baseline: grandfather, then ratchet down.
+
+A baseline lets the linter gate CI from day one without requiring every
+historical finding to be fixed in the same change: findings whose
+fingerprints are recorded in the baseline are reported as *baselined*
+and do not fail the run; anything new does.  Removing entries (fixing
+the code) only ever shrinks the file -- the ratchet direction.
+
+The file also records report-only finding *counts* for trees the
+linter does not gate on (``tests/``, ``examples/``), so their totals
+are visible in review and future changes can ratchet them toward zero.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "tool": "repro.lint",
+      "findings": [
+        {"fingerprint": "...", "rule": "REP002", "path": "...", "count": 1},
+        ...
+      ],
+      "report_only": {"tests": 12, "examples": 0}
+    }
+
+A corrupt or schema-incompatible baseline raises :class:`BaselineError`,
+which the CLI maps to exit code 2 (usage-level error) -- never silently
+treated as empty, since a truncated or mangled file would otherwise
+disable the gate without anyone noticing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BaselineError",
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "save_baseline",
+    "split_findings",
+]
+
+BASELINE_SCHEMA = 1
+
+#: Default committed location, relative to the invocation directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be trusted."""
+
+
+def load_baseline(path: str | os.PathLike) -> dict:
+    """Load and validate a baseline; a missing file is an empty one."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return {"schema": BASELINE_SCHEMA, "findings": [], "report_only": {}}
+    try:
+        data = json.loads(file_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"corrupt baseline {file_path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise BaselineError(f"corrupt baseline {file_path}: expected a JSON object")
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {file_path} has unsupported schema {data.get('schema')!r} "
+            f"(expected {BASELINE_SCHEMA})"
+        )
+    entries = data.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"corrupt baseline {file_path}: 'findings' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not isinstance(entry.get("fingerprint"), str):
+            raise BaselineError(
+                f"corrupt baseline {file_path}: every finding needs a string "
+                "'fingerprint'"
+            )
+        if not isinstance(entry.get("count", 1), int) or entry.get("count", 1) < 1:
+            raise BaselineError(
+                f"corrupt baseline {file_path}: finding counts must be positive ints"
+            )
+    report_only = data.get("report_only", {})
+    if not isinstance(report_only, dict):
+        raise BaselineError(
+            f"corrupt baseline {file_path}: 'report_only' must be an object"
+        )
+    return data
+
+
+def save_baseline(
+    path: str | os.PathLike,
+    findings: list[Finding],
+    report_only: dict[str, int] | None = None,
+) -> dict:
+    """Write a fresh baseline grandfathering ``findings``; returns it."""
+    counts: Counter[str] = Counter(f.fingerprint() for f in findings)
+    described: dict[str, Finding] = {}
+    for finding in findings:
+        described.setdefault(finding.fingerprint(), finding)
+    data = {
+        "schema": BASELINE_SCHEMA,
+        "tool": "repro.lint",
+        "findings": [
+            {
+                "fingerprint": fingerprint,
+                "rule": described[fingerprint].rule,
+                "path": described[fingerprint].path,
+                "count": count,
+            }
+            for fingerprint, count in sorted(counts.items())
+        ],
+        "report_only": dict(sorted((report_only or {}).items())),
+    }
+    file_path = Path(path)
+    file_path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return data
+
+
+def split_findings(
+    findings: list[Finding], baseline: dict
+) -> tuple[list[Finding], int]:
+    """Partition into (new findings, baselined count).
+
+    Matching is a multiset consume: a baseline entry with ``count: 2``
+    absorbs at most two identical findings; a third is new.
+    """
+    budget: Counter[str] = Counter()
+    for entry in baseline.get("findings", []):
+        budget[entry["fingerprint"]] += int(entry.get("count", 1))
+    new: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,210 @@
+"""Per-file analysis and the sweep-engine-backed fan-out driver.
+
+One file is one unit of work: parse, collect import aliases, collect
+waivers, then walk the tree exactly once, dispatching each node to the
+rules interested in its type (:data:`repro.lint.rules.RULES`).
+:func:`lint_file` is a picklable module-level function over a plain
+string spec, which lets :func:`lint_paths` fan a large tree across
+worker processes through :func:`repro.parallel.run_points` -- the
+linter dogfoods the same sweep engine the figure reproductions use,
+with the same submission-order reassembly guarantee, so output order
+is identical serial or parallel.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, FileContext, Rule
+from repro.lint.waivers import apply_waivers, collect_waivers
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.engine import run_points, sweep_context
+
+__all__ = [
+    "LintResult",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def _dispatch_table(
+    rules: Iterable[Rule],
+) -> dict[type[ast.AST], list[Rule]]:
+    table: dict[type[ast.AST], list[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.interests:
+            table.setdefault(node_type, []).append(rule)
+    return table
+
+
+class _Walker(ast.NodeVisitor):
+    """Single-pass dispatcher tracking ``async def`` nesting."""
+
+    def __init__(
+        self,
+        table: dict[type[ast.AST], list[Rule]],
+        ctx: FileContext,
+        findings: list[Finding],
+    ) -> None:
+        self._table = table
+        self._ctx = ctx
+        self._findings = findings
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for rule in self._table.get(type(node), ()):
+            self._findings.extend(rule.check(node, self._ctx))
+        super().generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._ctx.async_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._ctx.async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # a sync def nested inside an async def runs off-loop (executor,
+        # callback): its body is not event-loop context
+        depth, self._ctx.async_depth = self._ctx.async_depth, 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._ctx.async_depth = depth
+
+
+def lint_source(
+    source: str, path: str, rule_ids: Sequence[str] | None = None
+) -> tuple[list[Finding], int]:
+    """Lint one module's source text.
+
+    Returns ``(findings, waived)`` -- findings surviving waivers, in
+    source order, and the number a waiver suppressed.  A file that does
+    not parse yields one REP000 finding (the tree it hides is
+    unchecked, which must be visible).
+    """
+    waivers, findings = collect_waivers(source, path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        lineno = getattr(exc, "lineno", None) or 1
+        findings.append(
+            Finding(
+                rule="REP000",
+                path=path,
+                line=lineno,
+                col=(getattr(exc, "offset", None) or 1),
+                message=f"file does not parse, so no invariants were checked: {exc.msg}"
+                if isinstance(exc, SyntaxError)
+                else f"file does not parse, so no invariants were checked: {exc}",
+            )
+        )
+        return sorted(findings, key=Finding.sort_key), 0
+    ctx = FileContext(path=path, lines=source.splitlines())
+    ctx.collect_imports(tree)
+    selected = (
+        [RULES[rule_id] for rule_id in rule_ids] if rule_ids is not None else RULES.values()
+    )
+    _Walker(_dispatch_table(selected), ctx, findings).visit(tree)
+    findings.sort(key=Finding.sort_key)
+    kept, waived = apply_waivers(findings, waivers)
+    return kept, waived
+
+
+def lint_file(path: str) -> dict:
+    """Point function for the sweep engine: lint one file by path.
+
+    Returns a plain, picklable payload.  An unreadable file is a REP000
+    finding, not an exception -- a crash in one worker must not abort
+    the sweep (and the engine's in-process fallback would re-raise it).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        finding = Finding(
+            rule="REP000",
+            path=path,
+            line=1,
+            col=1,
+            message=f"file could not be read: {exc}",
+        )
+        return {"path": path, "findings": [finding.to_dict()], "waived": 0}
+    findings, waived = lint_source(source, path)
+    return {
+        "path": path,
+        "findings": [finding.to_dict() for finding in findings],
+        "waived": waived,
+    }
+
+
+def iter_python_files(paths: Sequence[str | os.PathLike]) -> list[str]:
+    """Every ``.py`` file under ``paths``, sorted, caches skipped.
+
+    Paths are kept exactly as given (relative stays relative), so
+    invoking the linter from the repo root produces the repo-relative
+    paths the committed baseline is keyed on.
+    """
+    files: set[str] = set()
+    for root in paths:
+        root_path = Path(root)
+        if root_path.is_file():
+            files.add(os.fspath(root_path))
+            continue
+        for current, dirnames, filenames in os.walk(root_path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in filenames:
+                if name.endswith(".py"):
+                    files.add(os.path.join(current, name))
+    return sorted(files)
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Aggregated outcome of one :func:`lint_paths` run."""
+
+    files: int
+    findings: list[Finding] = field(default_factory=list)
+    waived: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def lint_paths(
+    paths: Sequence[str | os.PathLike],
+    jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``.
+
+    ``jobs`` > 1 fans files across worker processes via
+    :func:`repro.parallel.run_points` (``None``/1 runs serially through
+    the same code path).  ``metrics`` receives ``sim.lint.*`` totals
+    alongside the engine's own ``sim.parallel.*`` instruments.
+    """
+    files = iter_python_files(paths)
+    registry = metrics if metrics is not None else MetricsRegistry()
+    with sweep_context(jobs=jobs if jobs else 1, metrics=registry):
+        payloads = run_points(lint_file, files, label="lint")
+    result = LintResult(files=len(files))
+    for payload in payloads:
+        result.findings.extend(
+            Finding.from_dict(item) for item in payload["findings"]
+        )
+        result.waived += payload["waived"]
+    result.findings.sort(key=Finding.sort_key)
+    registry.counter("sim.lint.files").inc(len(files))
+    registry.counter("sim.lint.findings").inc(len(result.findings))
+    registry.counter("sim.lint.waived").inc(result.waived)
+    return result

@@ -1,0 +1,73 @@
+"""The :class:`Finding` envelope every lint rule produces.
+
+A finding is one violation at one source location.  Its *fingerprint*
+deliberately excludes the line number -- it hashes the rule id, the
+file path, the stripped source line, and the message -- so a committed
+baseline survives unrelated edits that only shift code up or down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes:
+        rule: rule identifier (``"REP002"``).
+        path: file path as given to the linter (repo-relative when the
+            linter is invoked from the repo root, which is what keeps
+            baselines portable).
+        line: 1-based source line of the offending construct.
+        col: 1-based column.
+        message: human-readable description of the violation.
+        snippet: the stripped source line, for context and for the
+            line-number-independent fingerprint.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        payload = "|".join((self.rule, self.path, self.snippet, self.message))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        """One text-format line: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+        )

@@ -32,11 +32,14 @@ performs the same operations it did before this layer existed.
 """
 
 from repro.obs.metrics import (
+    CORE_METRIC_NAMES,
     Counter,
     Gauge,
     Histogram,
+    METRIC_FAMILIES,
     MetricsRegistry,
     Timer,
+    is_registered_metric,
     merge_snapshot,
 )
 from repro.obs.probes import (
@@ -73,7 +76,7 @@ from repro.obs.ledger import (
     save_ledger,
 )
 from repro.obs.sink import JsonlSink, MemorySink, TelemetrySink, capture, configure, get_sink
-from repro.obs.telemetry import RunRecord, new_run_id, summarize_delays
+from repro.obs.telemetry import KNOWN_KINDS, RunRecord, new_run_id, summarize_delays
 from repro.obs.trace_spans import (
     Span,
     Tracer,
@@ -89,6 +92,7 @@ from repro.obs.trace_spans import (
 )
 
 __all__ = [
+    "CORE_METRIC_NAMES",
     "CallbackTimeProbe",
     "CancellationProbe",
     "Counter",
@@ -96,7 +100,9 @@ __all__ = [
     "HeapDepthProbe",
     "Histogram",
     "JsonlSink",
+    "KNOWN_KINDS",
     "LEDGER_SCHEMA",
+    "METRIC_FAMILIES",
     "MemorySink",
     "MetricsRegistry",
     "Probe",
@@ -124,6 +130,7 @@ __all__ = [
     "latest_entry",
     "ledger_path",
     "load_ledger",
+    "is_registered_metric",
     "merge_snapshot",
     "new_run_id",
     "per_dimension_blocked_time",

@@ -26,16 +26,53 @@ from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 __all__ = [
+    "CORE_METRIC_NAMES",
     "Counter",
     "DELAY_BUCKETS_US",
     "Gauge",
     "Histogram",
+    "METRIC_FAMILIES",
     "MetricsRegistry",
     "SERVICE_LATENCY_BUCKETS_MS",
     "Timer",
     "UTILIZATION_BUCKETS",
+    "is_registered_metric",
     "merge_snapshot",
 ]
+
+#: The registered ``sim.*`` metric families.  Every instrument name in
+#: the codebase must live in one of these namespaces (or be a core
+#: simulator name from :data:`CORE_METRIC_NAMES`); the ``repro.lint``
+#: REP006 rule enforces this statically, so adding a family here is
+#: what makes its names legal everywhere.
+METRIC_FAMILIES: tuple[str, ...] = (
+    "sim.faults",
+    "sim.lint",
+    "sim.parallel",
+    "sim.resilience",
+    "sim.service",
+)
+
+#: Core simulator instruments that predate the family namespaces.
+CORE_METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        "sim.runs",
+        "sim.wall",
+        "sim.events",
+        "sim.delay_us",
+        "sim.blocked_us",
+        "sim.completion_us",
+        "sim.worms",
+        "sim.worm_blocked_us",
+    }
+)
+
+
+def is_registered_metric(name: str) -> bool:
+    """Whether ``name`` conforms to the metric-naming contract."""
+    if name in CORE_METRIC_NAMES:
+        return True
+    return any(name.startswith(f"{family}.") for family in METRIC_FAMILIES)
 
 #: Default bucket upper bounds (microseconds) for delay / blocked-time
 #: distributions: geometric, spanning sub-hop times to full 10-cube

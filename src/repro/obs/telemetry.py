@@ -22,7 +22,24 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Mapping
 
-__all__ = ["RunRecord", "new_run_id", "summarize_delays"]
+__all__ = ["KNOWN_KINDS", "RunRecord", "new_run_id", "summarize_delays"]
+
+#: The registered ``RunRecord.kind`` values.  Consumers (``stats
+#: --from``, the CI telemetry checks, dashboards) switch on these
+#: literals, and the ``repro.lint`` REP006 rule rejects any other
+#: ``kind="..."`` literal at the construction site -- register new
+#: kinds here first.
+KNOWN_KINDS: frozenset[str] = frozenset(
+    {
+        "multicast",
+        "concurrent",
+        "comm",
+        "experiment-point",
+        "degraded-multicast",
+        "resilience-event",
+        "service-request",
+    }
+)
 
 #: Envelope schema version; bump on incompatible field changes.
 #: v2 adds the optional ``trace_id`` field so JSONL telemetry can be

@@ -137,7 +137,9 @@ class Tracer:
             trace_id = derive_trace_id(label, os.getpid(), time.time_ns())
         self.trace_id = trace_id
         self.label = label
-        self.epoch_unix = time.time()
+        # the wall-clock anchor exists so exported traces can be joined
+        # to external logs; all span *durations* come from perf_counter
+        self.epoch_unix = time.time()  # repro: lint-ok[REP002] display-only trace epoch
         self._epoch_perf = time.perf_counter()
         self._lock = threading.Lock()
         self._seq = 0

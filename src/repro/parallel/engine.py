@@ -219,9 +219,16 @@ def _run_chunk(
     def beat() -> None:
         if heartbeats is not None:
             try:
+                # wall clock on purpose: heartbeat ages are compared in
+                # the *parent* process, and Python only guarantees the
+                # monotonic clock is comparable within one process
+                # repro: lint-ok[REP002] cross-process heartbeat timestamps need a shared clock
                 heartbeats[chunk_id] = _time.time()
             except Exception:
-                pass  # manager gone: the parent is tearing us down
+                # manager gone: the parent is tearing us down; count it
+                # so the suppression shows up in the merged metrics if
+                # this chunk still makes it home
+                registry.counter("sim.resilience.heartbeat_errors").inc()
 
     try:
         results = []
@@ -336,6 +343,7 @@ def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
     for proc in list(getattr(pool, "_processes", {}).values()):
         try:
             proc.terminate()
+        # repro: lint-ok[REP004] best-effort teardown of an already-dead pool; no registry in scope
         except Exception:  # pragma: no cover - best-effort teardown
             pass
 
@@ -406,11 +414,13 @@ def _pool_round(
                         else:
                             fatal.append(chunk)
                 if wd is not None and pending:
+                    # repro: lint-ok[REP002] compared against worker wall-clock heartbeats
                     now = _time.time()
                     for chunk_id, _chunk in pending.values():
                         try:
                             beat = heartbeats.get(chunk_id)  # type: ignore[union-attr]
                         except Exception:  # pragma: no cover - manager died
+                            count("sim.resilience.heartbeat_errors")
                             beat = None
                         if beat is None:
                             continue  # not started yet; cannot be hung

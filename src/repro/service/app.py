@@ -108,7 +108,11 @@ class ServiceApp:
             port=self.config.port,
             max_body_bytes=self.config.max_body_bytes,
         )
-        self.started_at = time.time()
+        # uptime is a *duration*: anchor it on the monotonic clock so a
+        # wall-clock step (NTP, DST) can never make it jump or go
+        # negative; the unix timestamp is kept for display only.
+        self.started_at_unix = time.time()  # repro: lint-ok[REP002] display-only timestamp
+        self._started_monotonic = time.monotonic()
         self._usage: dict[str, _ClientUsage] = {}
         plan = self._plan_endpoint
         self._routes: dict[tuple[str, str], Callable[[Request], Awaitable[Response]]] = {
@@ -237,11 +241,15 @@ class ServiceApp:
 
     # -- operational endpoints -----------------------------------------
 
+    def _uptime_s(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
     async def _health(self, _req: Request) -> Response:
         return Response(
             payload={
                 "status": "draining" if self.server.draining else "ok",
-                "uptime_s": round(time.time() - self.started_at, 3),
+                "uptime_s": round(self._uptime_s(), 3),
+                "started_at_unix": round(self.started_at_unix, 3),
                 "inflight": self.admission.inflight,
                 "queued": self.admission.queued,
                 "connections": self.server.connections,
@@ -256,14 +264,14 @@ class ServiceApp:
         cache = self.planner.cache
         self.metrics.gauge("sim.service.cache_hit_ratio").set(cache.hit_ratio())
         self.metrics.gauge("sim.service.cache_entries").set(float(len(cache)))
-        self.metrics.gauge("sim.service.uptime_seconds").set(time.time() - self.started_at)
+        self.metrics.gauge("sim.service.uptime_seconds").set(self._uptime_s())
         text = to_prometheus(self.metrics)
         return Response(body=text.encode("utf-8"), content_type="text/plain; version=0.0.4")
 
     async def _usage_endpoint(self, _req: Request) -> Response:
         return Response(
             payload={
-                "uptime_s": round(time.time() - self.started_at, 3),
+                "uptime_s": round(self._uptime_s(), 3),
                 "clients": {
                     client: usage.as_dict() for client, usage in sorted(self._usage.items())
                 },

@@ -1,0 +1,170 @@
+"""Subprocess tests for the ``lint`` subcommand's exit-code contract.
+
+The contract the CI job gates on: 0 clean tree, 1 new findings,
+2 usage error / corrupt baseline.  Golden-output tests pin the
+``--format text`` and ``--format json`` shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A module with exactly one violation: wall-clock duration (REP002)
+#: at line 5, column 12.
+_BAD_SOURCE = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def uptime(start):\n"
+    "    return time.time() - start\n"
+)
+
+_REP002_MESSAGE = (
+    "time.time() is not monotonic -- use time.monotonic() or "
+    "time.perf_counter() for durations; waive only display-only "
+    "wall-clock timestamps"
+)
+
+
+def _run_cli(*argv: str, cwd=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(_REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=env, cwd=cwd or _REPO_ROOT, capture_output=True, text=True, timeout=300,
+    )
+
+
+def _write_fixture(tmp_path: Path) -> Path:
+    bad = tmp_path / "bad.py"
+    bad.write_text(_BAD_SOURCE, encoding="utf-8")
+    return bad
+
+
+class TestExitCodes:
+    def test_exit_0_on_clean_shipped_tree(self):
+        """The committed tree must lint clean with the committed baseline."""
+        proc = _run_cli("lint")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_exit_1_on_injected_violation(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        proc = _run_cli("lint", str(bad), cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "REP002" in proc.stdout
+
+    def test_exit_2_on_corrupt_baseline(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        broken = tmp_path / "baseline.json"
+        broken.write_text("{definitely not json", encoding="utf-8")
+        proc = _run_cli("lint", str(bad), "--baseline", str(broken), cwd=tmp_path)
+        assert proc.returncode == 2
+        assert "corrupt baseline" in proc.stderr
+
+    def test_exit_2_on_unknown_rule(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        proc = _run_cli("lint", str(bad), "--select", "REP999", cwd=tmp_path)
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+    def test_exit_2_on_missing_path(self, tmp_path):
+        proc = _run_cli("lint", str(tmp_path / "absent"), cwd=tmp_path)
+        assert proc.returncode == 2
+        assert "no such path" in proc.stderr
+
+    def test_report_only_downgrades_to_exit_0(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        proc = _run_cli("lint", str(bad), "--report-only", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "REP002" in proc.stdout
+
+    def test_select_other_rule_passes(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        proc = _run_cli("lint", str(bad), "--select", "REP001", cwd=tmp_path)
+        assert proc.returncode == 0
+
+
+class TestGoldenText:
+    def test_finding_line_and_summary(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        proc = _run_cli("lint", str(bad), cwd=tmp_path)
+        lines = proc.stdout.splitlines()
+        assert lines[0] == f"{bad}:5:12: REP002 {_REP002_MESSAGE}"
+        assert lines[-1] == "lint: 1 file(s) checked, 1 new finding(s) (0 waived, 0 baselined)"
+
+    def test_clean_summary(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("import time\n\nSTART = time.monotonic()\n", encoding="utf-8")
+        proc = _run_cli("lint", str(good), cwd=tmp_path)
+        assert proc.returncode == 0
+        assert proc.stdout.splitlines() == [
+            "lint: 1 file(s) checked, clean (0 waived, 0 baselined)"
+        ]
+
+
+class TestGoldenJson:
+    def test_json_payload_shape(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        proc = _run_cli("lint", str(bad), "--format", "json", cwd=tmp_path)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == 1
+        assert payload["paths"] == [str(bad)]
+        assert payload["files"] == 1
+        assert payload["counts"] == {
+            "findings": 1, "new": 1, "waived": 0, "baselined": 0,
+        }
+        assert payload["clean"] is False
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP002"
+        assert finding["path"] == str(bad)
+        assert (finding["line"], finding["col"]) == (5, 12)
+        assert finding["message"] == _REP002_MESSAGE
+        assert finding["snippet"] == "return time.time() - start"
+        assert isinstance(finding["fingerprint"], str) and len(finding["fingerprint"]) == 16
+
+    def test_json_clean_tree(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("VALUE = 1\n", encoding="utf-8")
+        proc = _run_cli("lint", str(good), "--format", "json", cwd=tmp_path)
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+
+
+class TestBaselineWorkflow:
+    def test_update_then_rerun_is_baselined(self, tmp_path):
+        bad = _write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        update = _run_cli(
+            "lint", str(bad), "--baseline", str(baseline), "--update-baseline",
+            cwd=tmp_path,
+        )
+        assert update.returncode == 0
+        assert "1 grandfathered finding(s)" in update.stdout
+        rerun = _run_cli("lint", str(bad), "--baseline", str(baseline), cwd=tmp_path)
+        assert rerun.returncode == 0
+        assert "(0 waived, 1 baselined)" in rerun.stdout
+
+    def test_fixing_the_code_keeps_passing(self, tmp_path):
+        """The ratchet direction: baselined entries may go stale harmlessly."""
+        bad = _write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        _run_cli(
+            "lint", str(bad), "--baseline", str(baseline), "--update-baseline",
+            cwd=tmp_path,
+        )
+        bad.write_text(
+            "import time\n\n\ndef uptime(start):\n    return time.monotonic() - start\n",
+            encoding="utf-8",
+        )
+        fixed = _run_cli("lint", str(bad), "--baseline", str(baseline), cwd=tmp_path)
+        assert fixed.returncode == 0
+        assert "(0 waived, 0 baselined)" in fixed.stdout

@@ -1,0 +1,187 @@
+"""Waiver parsing/placement and baseline load/save/split semantics."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from repro.lint.engine import lint_source
+from repro.lint.findings import Finding
+
+
+def _lint(source: str):
+    return lint_source(textwrap.dedent(source), "snippet.py")
+
+
+class TestWaivers:
+    def test_inline_waiver_suppresses(self):
+        found, waived = _lint(
+            """
+            import time
+
+            started = time.time()  # repro: lint-ok[REP002] display-only timestamp
+            """
+        )
+        assert found == []
+        assert waived == 1
+
+    def test_own_line_waiver_targets_next_line(self):
+        found, waived = _lint(
+            """
+            import time
+
+            # repro: lint-ok[REP002] display-only timestamp, line kept short
+            started = time.time()
+            """
+        )
+        assert found == []
+        assert waived == 1
+
+    def test_waiver_does_not_leak_past_its_line(self):
+        found, waived = _lint(
+            """
+            import time
+
+            a = time.time()  # repro: lint-ok[REP002] display only
+            b = time.time()
+            """
+        )
+        assert waived == 1
+        assert [f.line for f in found] == [5]
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        found, waived = _lint(
+            """
+            import time
+
+            started = time.time()  # repro: lint-ok[REP001] not the right rule
+            """
+        )
+        assert waived == 0
+        assert [f.rule for f in found] == ["REP002"]
+
+    def test_multi_rule_waiver(self):
+        found, waived = _lint(
+            """
+            import random
+
+            # repro: lint-ok[REP001,REP002] fixture exercising both rules at once
+            x = random.random()
+            """
+        )
+        assert found == []
+        assert waived == 1
+
+    def test_missing_reason_is_rep000(self):
+        found, _waived = _lint(
+            """
+            import time
+
+            started = time.time()  # repro: lint-ok[REP002]
+            """
+        )
+        rules = sorted(f.rule for f in found)
+        # the reasonless waiver is reported AND does not suppress
+        assert rules == ["REP000", "REP002"]
+
+    def test_waiver_inside_string_literal_is_inert(self):
+        found, waived = _lint(
+            '''
+            import time
+
+            DOC = "# repro: lint-ok[REP002] not a real waiver"
+            started = time.time()
+            '''
+        )
+        assert waived == 0
+        assert [f.rule for f in found] == ["REP002"]
+
+
+class TestBaseline:
+    def _finding(self, message="m", path="src/x.py"):
+        return Finding(
+            rule="REP002", path=path, line=10, col=5, message=message, snippet="s"
+        )
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        data = load_baseline(tmp_path / "nope.json")
+        assert data["findings"] == []
+        assert data["report_only"] == {}
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        f = self._finding()
+        save_baseline(path, [f, f], report_only={"tests": 3})
+        data = load_baseline(path)
+        assert data["schema"] == 1
+        assert data["tool"] == "repro.lint"
+        assert data["findings"] == [
+            {
+                "fingerprint": f.fingerprint(),
+                "rule": "REP002",
+                "path": "src/x.py",
+                "count": 2,
+            }
+        ]
+        assert data["report_only"] == {"tests": 3}
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 99, "findings": []}), encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_malformed_entries_raise(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"schema": 1, "findings": [{"rule": "REP002"}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_split_is_a_multiset_consume(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        f = self._finding()
+        save_baseline(path, [f, f])  # grandfather two occurrences
+        baseline = load_baseline(path)
+        new, baselined = split_findings([f, f, f], baseline)
+        assert baselined == 2
+        assert len(new) == 1  # the third identical finding is new
+
+    def test_split_ignores_line_shifts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        f = self._finding()
+        save_baseline(path, [f])
+        shifted = Finding(
+            rule=f.rule,
+            path=f.path,
+            line=99,  # moved, same code
+            col=1,
+            message=f.message,
+            snippet=f.snippet,
+        )
+        new, baselined = split_findings([shifted], load_baseline(path))
+        assert (new, baselined) == ([], 1)
+
+    def test_unrelated_finding_is_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self._finding()])
+        other = self._finding(message="different defect")
+        new, baselined = split_findings([other], load_baseline(path))
+        assert baselined == 0
+        assert new == [other]
