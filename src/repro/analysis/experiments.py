@@ -31,6 +31,7 @@ from repro.multicast.registry import PAPER_ALGORITHMS, get_algorithm
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.cache import CACHE_SCHEMA
 from repro.parallel.engine import run_points, sweep_context
+from repro.parallel.fabric import FabricConfig
 from repro.parallel.journal import SweepJournal, derive_run_id
 from repro.parallel.resilience import WatchdogConfig
 from repro.simulator.params import NCUBE2
@@ -621,6 +622,7 @@ def run_sweep(
     journal_dir: str | None = None,
     resume: bool = False,
     watchdog: WatchdogConfig | None = None,
+    fabric: "FabricConfig | None" = None,
 ) -> dict[str, Table]:
     """Run several experiments under one shared sweep context.
 
@@ -637,6 +639,13 @@ def run_sweep(
     or interrupted run of the *same* sweep are served from it,
     bit-identically.  ``watchdog`` enables hung-worker detection and
     requeueing (see :mod:`repro.parallel.resilience`).
+
+    With ``fabric`` set (a :class:`~repro.parallel.fabric.FabricConfig`)
+    the points are distributed over TCP worker hosts instead of the
+    local process pool -- still bit-identically, and still journaled:
+    a resumed sweep serves points computed by *any* previous host from
+    the journal, because fingerprints are content-addressed, not
+    host-addressed.
     """
     ids = list(exp_ids)
     unknown = [exp_id for exp_id in ids if exp_id not in EXPERIMENTS]
@@ -656,13 +665,19 @@ def run_sweep(
             meta={"ids": ids, "fast": bool(fast)},
             resume=resume,
         )
+    if jobs is None:
+        # a fabric sweep's parallelism is its worker fleet, not local
+        # processes; jobs only sizes the chunks (and the degradation
+        # pool), so the CPU-count default is the right fallback
+        jobs = 0 if fabric is not None else 1
     try:
         with sweep_context(
-            jobs=1 if jobs is None else jobs,
+            jobs=jobs,
             cache_dir=cache_dir,
             metrics=metrics,
             watchdog=watchdog,
             journal=journal,
+            fabric=fabric,
         ):
             return {exp_id: _run_one(exp_id, fast) for exp_id in ids}
     finally:

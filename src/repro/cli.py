@@ -16,7 +16,16 @@ Subcommands:
   telemetry; see docs/PERFORMANCE.md.  ``--journal-dir`` checkpoints
   every completed point; ``--resume`` picks a crashed or interrupted
   run back up bit-identically; ``--watchdog`` arms hung-worker
-  detection (see docs/RESILIENCE.md).
+  detection (see docs/RESILIENCE.md).  ``--fabric-port`` distributes
+  the points over TCP worker hosts instead of the local pool (the
+  sweep degrades back to the local pool if every worker dies).
+- ``worker`` -- serve one sweep-fabric worker link: connect to a
+  coordinator started with ``sweep --fabric-port``, execute its
+  chunks, heartbeat, exit on shutdown.  Exits ``0`` on an orderly
+  fleet shutdown, ``1`` when no coordinator is reachable or the link
+  drops while idle, and -- beyond the standard contract -- ``70``
+  when the coordinator vanishes mid-chunk (the chunk is orphaned, so
+  supervisors can tell lost work from a finished fleet).
 - ``cache`` -- ``verify`` (audit a schedule-cache directory for
   corrupt/stale entries, optionally ``--repair``-quarantining them)
   and ``gc`` (drop quarantined entries and stray temp files).
@@ -230,6 +239,40 @@ def _resolve_watchdog(args: argparse.Namespace):
     )
 
 
+def _resolve_fabric(args: argparse.Namespace):
+    """``--fabric-port`` (and friends) -> a FabricConfig or None."""
+    port = getattr(args, "fabric_port", None)
+    if port is None:
+        return None
+    from repro.parallel.fabric import FabricConfig
+
+    return FabricConfig(
+        bind_host=args.fabric_host,
+        bind_port=port,
+        min_workers=args.fabric_min_workers,
+        wait_s=args.fabric_wait_s,
+        cache_url=args.fabric_cache_url,
+    )
+
+
+def _print_fabric_summary(registry, file=None) -> None:
+    """One-line ``sim.fabric.*`` digest after a fabric sweep."""
+    snap = registry.snapshot()
+
+    def val(name: str) -> float:
+        return snap.get(f"sim.fabric.{name}", {}).get("value", 0)
+
+    print(
+        f"fabric: {val('workers_joined'):g} worker(s) joined, "
+        f"{val('chunks_completed'):g} chunk(s) remote "
+        f"({val('points_remote'):g} point(s)), "
+        f"{val('hosts_lost'):g} host(s) lost, "
+        f"{val('requeued_chunks'):g} chunk(s) requeued, "
+        f"degraded to local {val('degraded_to_local'):g} time(s)",
+        file=file if file is not None else sys.stdout,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.obs.metrics import MetricsRegistry
 
@@ -252,6 +295,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
     jobs = _resolve_jobs(args)
+    try:
+        fabric = _resolve_fabric(args)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     registry = MetricsRegistry()
     tables = _with_trace(
         args,
@@ -266,6 +314,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 journal_dir=args.journal_dir,
                 resume=resume,
                 watchdog=_resolve_watchdog(args),
+                fabric=fabric,
             ),
         ),
     )
@@ -286,6 +335,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # with --json stdout is the document alone; the digest goes to stderr
     out = sys.stderr if args.json else sys.stdout
     _print_parallel_summary(registry, file=out)
+    if fabric is not None:
+        _print_fabric_summary(registry, file=out)
     if args.journal_dir:
         snap = registry.snapshot()
         hits = snap.get("sim.resilience.journal_hits", {}).get("value", 0)
@@ -297,6 +348,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.telemetry:
         print(f"telemetry written to {args.telemetry}", file=out)
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.worker import run_worker
+
+    if args.beat_s <= 0:
+        print(f"worker: --beat-s must be positive, got {args.beat_s}", file=sys.stderr)
+        return 2
+    if args.connect_timeout_s < 0:
+        print(
+            f"worker: --connect-timeout-s must be >= 0, got {args.connect_timeout_s}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return run_worker(
+            args.connect,
+            cache_dir=args.cache_dir,
+            cache_url=args.cache_url,
+            label=args.label,
+            connect_timeout_s=args.connect_timeout_s,
+            beat_s=args.beat_s,
+        )
+    except ValueError as exc:  # bad HOST:PORT or cache URL
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -949,7 +1026,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="write a Chrome trace-event JSON sidecar of the sweep to PATH",
     )
+    p_sweep.add_argument(
+        "--fabric-port", type=int, default=None, metavar="PORT",
+        help="coordinate TCP worker hosts on PORT instead of using the "
+             "local pool (0 = ephemeral; start workers with "
+             "'repro-hypercube worker --connect HOST:PORT')",
+    )
+    p_sweep.add_argument(
+        "--fabric-host", default="127.0.0.1", metavar="HOST",
+        help="interface the fabric coordinator binds (default: 127.0.0.1)",
+    )
+    p_sweep.add_argument(
+        "--fabric-min-workers", type=int, default=1, metavar="N",
+        help="workers to wait for before dispatching (late joiners still welcome)",
+    )
+    p_sweep.add_argument(
+        "--fabric-wait-s", type=float, default=15.0, metavar="S",
+        help="how long to wait for --fabric-min-workers before proceeding",
+    )
+    p_sweep.add_argument(
+        "--fabric-cache-url", default=None, metavar="URL",
+        help="planning-service URL advertised to workers as the shared "
+             "schedule-cache tier (e.g. http://HOST:8421)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "worker", help="serve one sweep-fabric worker link until shutdown"
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the sweep coordinator's fabric endpoint",
+    )
+    p_worker.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="local content-addressed schedule cache for this worker",
+    )
+    p_worker.add_argument(
+        "--cache-url", default=None, metavar="URL",
+        help="planning-service URL for the fleet-shared cache tier "
+             "(default: whatever the coordinator advertises)",
+    )
+    p_worker.add_argument(
+        "--label", default=None, metavar="NAME",
+        help="worker id shown in fabric telemetry (default: host-pid)",
+    )
+    p_worker.add_argument(
+        "--connect-timeout-s", type=float, default=30.0, metavar="S",
+        help="keep retrying the connection this long (workers may start first)",
+    )
+    p_worker.add_argument(
+        "--beat-s", type=float, default=0.25, metavar="S",
+        help="heartbeat interval while idle or making progress",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_trace = sub.add_parser(
         "trace", help="run experiments under the span tracer and export the timeline"

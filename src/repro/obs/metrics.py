@@ -46,6 +46,7 @@ __all__ = [
 #: REP006 rule enforces this statically, so adding a family here is
 #: what makes its names legal everywhere.
 METRIC_FAMILIES: tuple[str, ...] = (
+    "sim.fabric",
     "sim.faults",
     "sim.lint",
     "sim.parallel",

@@ -37,6 +37,7 @@ KNOWN_KINDS: frozenset[str] = frozenset(
         "experiment-point",
         "degraded-multicast",
         "resilience-event",
+        "fabric-event",
         "service-request",
     }
 )

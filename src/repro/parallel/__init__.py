@@ -5,9 +5,18 @@ trial seed) -- is embarrassingly parallel; this package executes it
 that way while guaranteeing bit-identical results to the serial path:
 
 - :mod:`repro.parallel.engine` -- :func:`sweep_context` /
-  :func:`run_points`: chunked process-pool dispatch with in-process
-  fallback on worker failure, plus per-worker telemetry and metrics
-  merging (``sim.parallel.*``);
+  :func:`run_points`: chunked dispatch over a worker fabric with
+  in-process fallback on worker failure, plus per-worker telemetry and
+  metrics merging (``sim.parallel.*``);
+- :mod:`repro.parallel.fabric` -- the :class:`Communicator` transports
+  behind the engine: the single-host process pool
+  (:class:`LocalCommunicator`) and the multi-host TCP coordinator
+  (:class:`TcpCoordinator`) with per-host heartbeats, dead-host
+  requeue, and degradation back to the local pool (``sim.fabric.*``);
+- :mod:`repro.parallel.worker` -- the ``repro-hypercube worker``
+  process that serves a coordinator link on any host;
+- :mod:`repro.parallel.fabric_cache` -- the fleet-shared schedule-cache
+  tier workers mount over the planning service's ``/v1/cache`` routes;
 - :mod:`repro.parallel.cache` -- a content-addressed two-layer cache
   for multicast schedules, step tables, and simulated delay summaries,
   shared across workers through an optional ``cache_dir``, with
@@ -42,6 +51,14 @@ from repro.parallel.engine import (
     run_points,
     sweep_context,
 )
+from repro.parallel.fabric import (
+    Communicator,
+    FabricConfig,
+    LocalCommunicator,
+    TcpCoordinator,
+    emit_fabric_event,
+)
+from repro.parallel.fabric_cache import RemoteCacheClient, TieredCache
 from repro.parallel.journal import (
     JournalLoad,
     SweepJournal,
@@ -54,14 +71,21 @@ from repro.parallel.seeds import derive_seed, spawn_seeds
 
 __all__ = [
     "CacheAudit",
+    "Communicator",
+    "FabricConfig",
     "JournalLoad",
+    "LocalCommunicator",
     "PointTracker",
+    "RemoteCacheClient",
     "RetryPolicy",
     "ScheduleCache",
     "SweepConfig",
     "SweepJournal",
+    "TcpCoordinator",
+    "TieredCache",
     "WatchdogConfig",
     "cache_key",
+    "emit_fabric_event",
     "cached_delay_stats",
     "cached_schedule_table",
     "default_jobs",

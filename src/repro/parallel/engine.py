@@ -1,12 +1,17 @@
-"""Process-pool sweep engine: fan experiment points across workers.
+"""Sweep engine: fan experiment points across a worker fabric.
 
 The paper's evaluation is a grid of independent simulation points --
 (cube size, message length, algorithm, trial seed) -- so the sweep
 engine is deliberately simple: a point function (any picklable
 module-level callable), a list of point specs (picklable, primitives
-only), and :func:`run_points`, which executes them serially or across a
-:class:`~concurrent.futures.ProcessPoolExecutor` depending on the
-active :func:`sweep_context`.
+only), and :func:`run_points`, which executes them serially or across
+the active :func:`sweep_context`'s worker fabric.  Which workers is a
+transport decision, delegated to a
+:class:`~repro.parallel.fabric.Communicator`: the default
+:class:`~repro.parallel.fabric.LocalCommunicator` is the original
+single-host process pool, and a
+:class:`~repro.parallel.fabric.TcpCoordinator` (``fabric=`` argument)
+fans the same chunks over multi-host TCP workers instead.
 
 Guarantees:
 
@@ -15,41 +20,42 @@ Guarantees:
   seeds are part of the spec, never derived from scheduling.  The
   regression suite asserts byte-identical figure tables for
   ``jobs=4`` vs serial, cache cold and warm -- and, with a journal,
-  for resumed vs uninterrupted runs.
+  for resumed vs uninterrupted runs, and for distributed vs serial.
 - **Graceful degradation.**  A failed worker (crash, pickling error,
-  broken pool) only costs its chunk, which is transparently re-run
-  in-process; a deterministic point *error* still surfaces exactly as
-  it would serially.  With a :class:`~repro.parallel.resilience.WatchdogConfig`
-  active, crashed and *hung* chunks are first requeued to a fresh pool
-  under a capped, exponentially backed-off retry budget; points that
-  keep failing are quarantined to in-process execution, and a
-  repeatedly lost pool degrades the whole remainder to in-process.
+  broken pool, dead host) only costs its chunk, which is transparently
+  re-run; a deterministic point *error* still surfaces exactly as it
+  would serially.  With a :class:`~repro.parallel.resilience.WatchdogConfig`
+  active, crashed and *hung* chunks are first requeued under a capped,
+  exponentially backed-off retry budget; points that keep failing are
+  quarantined to in-process execution; a repeatedly lost pool degrades
+  the remainder to in-process; and a TCP fabric whose last worker host
+  dies degrades the sweep to the local backend mid-flight.
 - **Crash recovery.**  With a :class:`~repro.parallel.journal.SweepJournal`
   active, every completed point is durably checkpointed as it is
   absorbed, and points already journaled by a previous (crashed or
   killed) run of the same sweep are served from the journal without
-  recomputation.
+  recomputation -- including points originally computed on a host that
+  no longer exists, because fingerprints are content-addressed.
 - **Observability.**  Workers buffer their telemetry
   (:class:`~repro.obs.sink.MemorySink`) and metric deltas per chunk and
   the parent merges both -- records into the parent's active sink,
   deltas into the context's registry -- so ``--telemetry`` output and
   ``sim.parallel.*`` metrics look the same no matter where points ran.
   Watchdog and journal activity is reported under ``sim.resilience.*``
-  and as ``kind="resilience-event"`` telemetry.
+  and as ``kind="resilience-event"`` telemetry; fleet-level decisions
+  under ``sim.fabric.*`` and ``kind="fabric-event"``.
 
 Points are dispatched in chunks (default: ~4 chunks per worker) to
 amortize inter-process overhead on sub-millisecond points.  Workers
-heartbeat (via a shared manager dict) before every point, which is what
-lets the parent distinguish a slow chunk from a hung one.
+heartbeat before every point, which is what lets the parent distinguish
+a slow chunk from a hung one -- through a shared manager dict on the
+local pool, over the wire on the TCP fabric.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time as _time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from math import ceil
@@ -59,9 +65,15 @@ from typing import Callable, Iterator, Sequence, TypeVar
 from repro.obs import sink as _sink_mod
 from repro.obs import trace_spans
 from repro.obs.metrics import MetricsRegistry, merge_snapshot
-from repro.obs.sink import MemorySink
 from repro.obs.telemetry import RunRecord
-from repro.parallel.cache import ScheduleCache, activate_cache, get_active_cache
+from repro.parallel.cache import ScheduleCache, activate_cache
+from repro.parallel.fabric import (
+    Communicator,
+    FabricConfig,
+    LocalCommunicator,
+    TcpCoordinator,
+    emit_fabric_event,
+)
 from repro.parallel.journal import SweepJournal, point_fingerprint
 from repro.parallel.resilience import (
     PointTracker,
@@ -84,12 +96,18 @@ R = TypeVar("R")
 
 @dataclass(frozen=True, slots=True)
 class SweepConfig:
-    """Active sweep parameters (one per :func:`sweep_context`)."""
+    """Active sweep parameters (one per :func:`sweep_context`).
+
+    ``communicator`` is the transport the engine dispatches rounds to;
+    ``None`` means a fresh per-sweep
+    :class:`~repro.parallel.fabric.LocalCommunicator`.
+    """
 
     jobs: int
     cache_dir: str | None = None
     chunk_size: int | None = None
     watchdog: WatchdogConfig | None = None
+    communicator: Communicator | None = None
 
 
 def default_jobs() -> int:
@@ -123,6 +141,7 @@ def sweep_context(
     metrics: MetricsRegistry | None = None,
     watchdog: WatchdogConfig | None = None,
     journal: SweepJournal | None = None,
+    fabric: FabricConfig | Communicator | None = None,
 ) -> Iterator[MetricsRegistry]:
     """Activate the sweep engine for the dynamic extent of the block.
 
@@ -139,10 +158,20 @@ def sweep_context(
         watchdog: hung-worker detection and retry policy (see
             :mod:`repro.parallel.resilience`); ``None`` disables
             timeouts and requeueing (failures fall straight back to
-            in-process execution, the pre-watchdog behavior).
+            in-process execution, the pre-watchdog behavior) -- except
+            with a ``fabric``, where heartbeat timeouts are load-bearing
+            and :meth:`WatchdogConfig.from_env` defaults apply.
         journal: checkpoint journal for crash-safe resume (see
             :mod:`repro.parallel.journal`); the caller owns its
             lifecycle (open/close).
+        fabric: distribute chunks over TCP workers instead of the local
+            pool -- either a :class:`~repro.parallel.fabric.FabricConfig`
+            (a :class:`~repro.parallel.fabric.TcpCoordinator` is built,
+            started, and stopped by the context, and the context blocks
+            up to ``fabric.wait_s`` for ``fabric.min_workers`` to join)
+            or any pre-built :class:`~repro.parallel.fabric.Communicator`
+            (started and stopped by the context).  If the fabric loses
+            its last worker, the sweep degrades to the local pool.
 
     Contexts nest: the innermost wins, the outer is restored on exit.
     """
@@ -150,11 +179,30 @@ def sweep_context(
     resolved_jobs = default_jobs() if not jobs else max(1, int(jobs))
     prev_config, prev_metrics, prev_journal = _config, _metrics, _journal
     registry = metrics if metrics is not None else MetricsRegistry()
+    communicator: Communicator | None = None
+    if fabric is not None:
+        if watchdog is None:
+            # heartbeat timeouts are what detect a dead host; a fabric
+            # without a watchdog would never notice one
+            watchdog = WatchdogConfig.from_env()
+        if isinstance(fabric, Communicator):
+            communicator = fabric
+            # a pre-built communicator without its own registry records
+            # into the context's, so sim.fabric.* never silently vanishes
+            if getattr(communicator, "metrics", None) is None:
+                communicator.metrics = registry
+        else:
+            communicator = TcpCoordinator(fabric, watchdog=watchdog, metrics=registry)
+        communicator.start()
+        if isinstance(communicator, TcpCoordinator):
+            joined = communicator.wait_for_workers()
+            registry.gauge("sim.fabric.workers_connected").set(float(joined))
     _config = SweepConfig(
         jobs=resolved_jobs,
         cache_dir=os.fspath(cache_dir) if cache_dir is not None else None,
         chunk_size=chunk_size,
         watchdog=watchdog,
+        communicator=communicator,
     )
     _metrics = registry
     _journal = journal
@@ -165,94 +213,8 @@ def sweep_context(
     finally:
         _config, _metrics, _journal = prev_config, prev_metrics, prev_journal
         activate_cache(prev_cache)
-
-
-# -- worker side -------------------------------------------------------
-
-
-def _worker_init(cache_dir: str | None) -> None:
-    """Pool initializer: give the worker its own cache (fresh memory
-    layer, shared disk layer) so parent state never leaks in."""
-    activate_cache(ScheduleCache(cache_dir))
-
-
-def _run_chunk(
-    fn: Callable[[S], R],
-    chunk: Sequence[tuple[int, S]],
-    chunk_id: int | None = None,
-    heartbeats=None,
-    trace_id: str | None = None,
-) -> tuple[list[tuple[int, R]], list[dict], dict[str, dict], dict | None]:
-    """Execute one chunk of (index, spec) pairs inside a worker.
-
-    Telemetry is buffered in a :class:`MemorySink` (never written
-    directly from the worker -- a dead worker must not leave partial or
-    duplicate records) and cache metrics go to a per-chunk registry so
-    the parent can merge exact deltas.  When the parent supplied a
-    ``heartbeats`` mapping (watchdog mode), the worker beats before
-    every point so the parent can tell slow from hung.  When the parent
-    is tracing (``trace_id``), the worker runs its own tracer -- seeded
-    from the parent's trace id, the chunk id, and the worker pid so span
-    ids never collide across chunks -- and ships the span snapshot home
-    in the return tuple for replay, exactly like the telemetry buffer.
-    """
-    registry = MetricsRegistry()
-    cache = get_active_cache()
-    prev_cache_metrics = cache.metrics if cache is not None else None
-    if cache is not None:
-        cache.metrics = registry
-    buffer = MemorySink()
-    prev_sink = _sink_mod.configure(buffer)
-    worker_tracer = None
-    prev_tracer = None
-    chunk_span = None
-    if trace_id is not None:
-        worker_tracer = trace_spans.Tracer(
-            trace_id=trace_spans.derive_trace_id(trace_id, "chunk", chunk_id, os.getpid()),
-            label=f"chunk-{chunk_id}",
-        )
-        prev_tracer = trace_spans.configure_tracing(worker_tracer)
-        chunk_span = worker_tracer.start_span(
-            "parallel.chunk", {"chunk": chunk_id, "points": len(chunk)}
-        )
-
-    def beat() -> None:
-        if heartbeats is not None:
-            try:
-                # wall clock on purpose: heartbeat ages are compared in
-                # the *parent* process, and Python only guarantees the
-                # monotonic clock is comparable within one process
-                # repro: lint-ok[REP002] cross-process heartbeat timestamps need a shared clock
-                heartbeats[chunk_id] = _time.time()
-            except Exception:
-                # manager gone: the parent is tearing us down; count it
-                # so the suppression shows up in the merged metrics if
-                # this chunk still makes it home
-                registry.counter("sim.resilience.heartbeat_errors").inc()
-
-    try:
-        results = []
-        for index, spec in chunk:
-            beat()
-            results.append((index, fn(spec)))
-    finally:
-        if worker_tracer is not None:
-            if chunk_span is not None:
-                worker_tracer.end_span(chunk_span)
-            trace_spans.configure_tracing(prev_tracer)
-        _sink_mod.configure(prev_sink)
-        if cache is not None:
-            cache.metrics = prev_cache_metrics
-    trace_snapshot = worker_tracer.snapshot() if worker_tracer is not None else None
-    return (
-        results,
-        [r.to_dict() for r in buffer.records],
-        registry.snapshot(),
-        trace_snapshot,
-    )
-
-
-# -- parent side -------------------------------------------------------
+        if communicator is not None:
+            communicator.stop()
 
 
 def run_points(
@@ -263,12 +225,12 @@ def run_points(
     """Evaluate ``fn`` over ``specs``, preserving order.
 
     Serial (a plain comprehension) when no :func:`sweep_context` is
-    active, when ``jobs <= 1``, or for single-point sweeps; otherwise
-    fanned across the context's process pool.  ``label`` names the
-    sweep in per-sweep metrics.  With an active journal, points already
-    checkpointed by a previous run of the same sweep are served from
-    the journal, and every fresh completion is checkpointed as it
-    lands.
+    active, when ``jobs <= 1`` with no fabric attached, or for
+    single-point sweeps; otherwise fanned across the context's
+    communicator.  ``label`` names the sweep in per-sweep metrics.
+    With an active journal, points already checkpointed by a previous
+    run of the same sweep are served from the journal, and every fresh
+    completion is checkpointed as it lands.
     """
     specs = list(specs)
     config, metrics, journal = _config, _metrics, _journal
@@ -278,9 +240,16 @@ def run_points(
             metrics.counter(f"sim.parallel.points.{label}").inc(len(specs))
     if journal is not None:
         return _run_journaled(fn, specs, config, metrics, journal, label)
-    if config is None or config.jobs <= 1 or len(specs) <= 1:
+    if _is_serial(config, len(specs)):
         return [fn(spec) for spec in specs]
     return _run_parallel(fn, specs, config, metrics)
+
+
+def _is_serial(config: SweepConfig | None, points: int) -> bool:
+    """Whether a sweep of ``points`` runs as a plain comprehension."""
+    if config is None or points <= 1:
+        return True
+    return config.jobs <= 1 and config.communicator is None
 
 
 def _run_journaled(
@@ -322,7 +291,7 @@ def _run_journaled(
                 metrics.counter("sim.resilience.journal_appends").inc()
 
         todo_specs = [specs[i] for i in todo]
-        if config is None or config.jobs <= 1 or len(todo_specs) <= 1:
+        if _is_serial(config, len(todo_specs)):
             for sub_index, spec in enumerate(todo_specs):
                 on_point(sub_index, fn(spec))
         else:
@@ -334,134 +303,6 @@ def _chunked(indexed: list[tuple[int, S]], size: int) -> list[list[tuple[int, S]
     return [indexed[i : i + size] for i in range(0, len(indexed), size)]
 
 
-def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
-    """Forcibly terminate a pool's workers (hung-pool containment).
-
-    Reaches into the executor because the public API has no way to kill
-    a worker; a terminated process unblocks the executor's own joins.
-    """
-    for proc in list(getattr(pool, "_processes", {}).values()):
-        try:
-            proc.terminate()
-        # repro: lint-ok[REP004] best-effort teardown of an already-dead pool; no registry in scope
-        except Exception:  # pragma: no cover - best-effort teardown
-            pass
-
-
-def _pool_round(
-    fn: Callable[[S], R],
-    chunks: list[list[tuple[int, S]]],
-    jobs: int,
-    config: SweepConfig,
-    metrics: MetricsRegistry | None,
-    absorb: Callable,
-    done: list[bool],
-    trace_id: str | None = None,
-) -> tuple[list[list[tuple[int, S]]], list[list[tuple[int, S]]], bool]:
-    """One process-pool pass over ``chunks``.
-
-    Returns ``(retryable, fatal, pool_lost)``: chunks that failed for
-    pool-level reasons (crash, hang, broken pool) and may be requeued;
-    chunks whose point function raised deterministically (they go
-    straight to in-process execution, where the error surfaces); and
-    whether the pool itself was lost (hang kill or construction
-    failure).
-    """
-    wd = config.watchdog
-    retryable: list[list[tuple[int, S]]] = []
-    fatal: list[list[tuple[int, S]]] = []
-    pool_lost = False
-    manager = None
-    heartbeats = None
-    soft_flagged: set[int] = set()
-
-    def count(name: str, amount: float = 1.0) -> None:
-        if metrics is not None:
-            metrics.counter(name).inc(amount)
-
-    try:
-        if wd is not None:
-            manager = multiprocessing.Manager()
-            heartbeats = manager.dict()
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_worker_init,
-            initargs=(config.cache_dir,),
-        ) as pool:
-            pending: dict[Future, tuple[int, list[tuple[int, S]]]] = {}
-            for chunk_id, chunk in enumerate(chunks):
-                future = pool.submit(_run_chunk, fn, chunk, chunk_id, heartbeats, trace_id)
-                pending[future] = (chunk_id, chunk)
-            hung = False
-            while pending and not hung:
-                timeout = wd.poll_s if wd is not None else None
-                finished, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    _, chunk = pending.pop(future)
-                    try:
-                        absorb(*future.result())
-                    except BrokenProcessPool:
-                        count("sim.parallel.worker_failures")
-                        pool_lost = True
-                        retryable.append(chunk)
-                    except Exception:
-                        count("sim.parallel.worker_failures")
-                        if wd is None:
-                            # legacy behavior: any failure falls back
-                            # in-process (where a deterministic error
-                            # re-raises exactly as it would serially)
-                            retryable.append(chunk)
-                        else:
-                            fatal.append(chunk)
-                if wd is not None and pending:
-                    # repro: lint-ok[REP002] compared against worker wall-clock heartbeats
-                    now = _time.time()
-                    for chunk_id, _chunk in pending.values():
-                        try:
-                            beat = heartbeats.get(chunk_id)  # type: ignore[union-attr]
-                        except Exception:  # pragma: no cover - manager died
-                            count("sim.resilience.heartbeat_errors")
-                            beat = None
-                        if beat is None:
-                            continue  # not started yet; cannot be hung
-                        age = now - float(beat)
-                        if age > wd.soft_timeout_s and chunk_id not in soft_flagged:
-                            soft_flagged.add(chunk_id)
-                            count("sim.resilience.soft_timeouts")
-                        if age > wd.hard_timeout_s:
-                            hung = True
-                    if hung:
-                        count("sim.resilience.hung_chunks", float(len(pending)))
-                        emit_resilience_event(
-                            "hung-pool-killed",
-                            pending_chunks=len(pending),
-                            hard_timeout_s=wd.hard_timeout_s,
-                        )
-                        for future in pending:
-                            future.cancel()
-                        _kill_pool_processes(pool)
-                        retryable.extend(chunk for _, chunk in pending.values())
-                        pending = {}
-                        pool_lost = True
-            if hung:
-                pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        # the pool itself failed (submission error, fork failure):
-        # everything not yet absorbed may be requeued
-        count("sim.parallel.worker_failures")
-        pool_lost = True
-        claimed = {id(chunk) for chunk in retryable} | {id(chunk) for chunk in fatal}
-        retryable.extend(
-            chunk
-            for chunk in chunks
-            if id(chunk) not in claimed and not all(done[i] for i, _ in chunk)
-        )
-    finally:
-        if manager is not None:
-            manager.shutdown()
-    return retryable, fatal, pool_lost
-
-
 def _run_parallel(
     fn: Callable[[S], R],
     specs: list[S],
@@ -469,8 +310,9 @@ def _run_parallel(
     metrics: MetricsRegistry | None,
     on_point: Callable[[int, R], None] | None = None,
 ) -> list[R]:
-    """Fan ``specs`` over the pool, under one ``parallel.dispatch`` span
-    when the parent is tracing (worker spans replay beneath it)."""
+    """Fan ``specs`` over the communicator, under one
+    ``parallel.dispatch`` span when the parent is tracing (worker spans
+    replay beneath it)."""
     with trace_spans.span(
         "parallel.dispatch", points=len(specs), jobs=min(config.jobs, len(specs))
     ) as dispatch_span:
@@ -527,6 +369,11 @@ def _dispatch(
         metrics.counter("sim.parallel.worker_failures")
         metrics.counter("sim.parallel.fallback_points")
 
+    comm = config.communicator
+    local: Communicator | None = None
+    if comm is None:
+        comm = local = LocalCommunicator(jobs, config.cache_dir, wd, metrics)
+
     tracker = PointTracker(wd.quarantine_after if wd is not None else 1)
     outstanding = chunks
     in_process: list[list[tuple[int, S]]] = []
@@ -535,12 +382,19 @@ def _dispatch(
 
     while outstanding:
         round_no += 1
-        retryable, fatal, pool_lost = _pool_round(
-            fn, outstanding, jobs, config, metrics, absorb, done, trace_id
-        )
+        outcome = comm.run_round(fn, outstanding, absorb, done, trace_id)
+        retryable, fatal, pool_lost = outcome.retryable, outcome.fatal, outcome.lost
         if pool_lost:
             pool_losses += 1
             count("sim.resilience.pool_losses")
+        if local is None and not comm.healthy:
+            # the fabric's last worker host is gone: finish the sweep on
+            # the local pool, with a fresh loss budget -- from here on
+            # this is an ordinary single-host sweep
+            count("sim.fabric.degraded_to_local")
+            emit_fabric_event("fabric-degraded-local", **comm.describe())
+            comm = local = LocalCommunicator(jobs, config.cache_dir, wd, metrics)
+            pool_losses = 0
         outstanding = []
         in_process.extend(fatal)
         if wd is None:

@@ -1,0 +1,187 @@
+"""Remote schedule-cache tier for fabric workers.
+
+A multi-host sweep loses the warm-cache economics of a shared
+``cache_dir``: each worker host starts cold and recomputes schedule
+tables the fleet has already built.  This module restores the shared
+tier over HTTP -- the schedule-planning service (:mod:`repro.service`)
+exposes its content-addressed entries at ``GET/PUT /v1/cache/<key>``,
+and :class:`TieredCache` extends the ordinary two-layer
+:class:`~repro.parallel.cache.ScheduleCache` with that service as a
+third layer: memory, then local disk, then the fleet.
+
+Keys are the same SHA-256 content addresses everywhere
+(:func:`repro.parallel.cache.cache_key`), so a sweep on any host warms
+the service for every other host, and vice versa.  Remote reads are
+checksum-validated exactly like disk reads -- the transported envelope
+carries the same ``checksum`` field the disk envelope does, and a
+mismatch is treated as a miss (counted in
+``sim.fabric.remote_cache_errors``), never stored.
+
+The remote layer is strictly an optimization and strictly best-effort:
+a slow, dead, or draining cache service costs latency budgeted by
+``timeout_s`` and then nothing -- a :class:`RemoteCacheClient` trips a
+circuit breaker after ``max_failures`` consecutive transport errors
+and the worker quietly degrades to its local two layers for the rest
+of the sweep.  Values are pure functions of their keys, so skipping
+the remote tier can never change a result, only its cost.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import urllib.parse
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.cache import ScheduleCache, _value_checksum
+
+__all__ = ["RemoteCacheClient", "TieredCache"]
+
+#: Content-addressed keys are full SHA-256 hex digests.
+KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class RemoteCacheClient:
+    """Checksum-validating HTTP client for the service cache endpoints.
+
+    Transport failures (refused, reset, timeout) count toward a
+    circuit breaker: after ``max_failures`` consecutive errors the
+    client disables itself (``healthy`` goes False) and every further
+    call is an immediate no-op, so one dead service cannot tax every
+    lookup of a long sweep.  A successful call resets the count.
+    Protocol-level misses (404) are not failures.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 2.0, max_failures: int = 3) -> None:
+        parsed = urllib.parse.urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"remote cache URL must be http://, got {base_url!r}")
+        if not parsed.hostname or not parsed.port:
+            raise ValueError(f"remote cache URL needs host:port, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port
+        self.timeout_s = timeout_s
+        self.max_failures = max_failures
+        self.failures = 0
+        self.fetches = 0
+        self.pushes = 0
+        self.errors = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.failures < self.max_failures
+
+    def describe(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _request(self, method: str, path: str, body: bytes | None = None) -> tuple[int, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            headers = {"Content-Type": "application/json"} if body is not None else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def fetch(self, key: str) -> object | None:
+        """The fleet's value for ``key``, or ``None`` (miss, damage, or
+        a tripped breaker)."""
+        if not self.healthy:
+            return None
+        try:
+            status, payload = self._request("GET", f"/v1/cache/{key}")
+        except (OSError, http.client.HTTPException):
+            self.failures += 1
+            self.errors += 1
+            return None
+        self.failures = 0
+        if status != 200:
+            return None  # miss (404) or a service refusing cache traffic
+        try:
+            doc = json.loads(payload)
+            value = doc["value"]
+            intact = doc.get("key") == key and _value_checksum(value) == doc.get("checksum")
+        except (ValueError, KeyError, TypeError):
+            intact = False
+            value = None
+        if not intact:
+            self.errors += 1
+            return None
+        self.fetches += 1
+        return value
+
+    def push(self, key: str, value: object) -> bool:
+        """Best-effort publish of a locally computed value to the fleet."""
+        if not self.healthy:
+            return False
+        body = json.dumps(
+            {"key": key, "checksum": _value_checksum(value), "value": value},
+            separators=(",", ":"),
+        ).encode("utf-8")
+        try:
+            status, _ = self._request("PUT", f"/v1/cache/{key}", body)
+        except (OSError, http.client.HTTPException):
+            self.failures += 1
+            self.errors += 1
+            return False
+        self.failures = 0
+        if status not in (200, 201, 204):
+            self.errors += 1
+            return False
+        self.pushes += 1
+        return True
+
+
+class TieredCache(ScheduleCache):
+    """A :class:`ScheduleCache` with the fleet cache as a third layer.
+
+    Reads: memory -> local disk -> remote service (a remote hit is
+    stored locally, so each key crosses the wire at most once per
+    host).  Writes: local layers synchronously, remote best-effort --
+    push failures cost nothing but the lost warmth.
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        metrics: MetricsRegistry | None = None,
+        remote: RemoteCacheClient | None = None,
+    ) -> None:
+        super().__init__(cache_dir, metrics)
+        self.remote = remote
+        self.remote_hits = 0
+
+    def get(self, key: str) -> object | None:
+        value = super().get(key)
+        if value is not None or self.remote is None:
+            return value
+        errors_before = self.remote.errors
+        value = self.remote.fetch(key)
+        if self.remote.errors > errors_before:
+            self._count_full("sim.fabric.remote_cache_errors")
+        if value is None:
+            return None
+        self.remote_hits += 1
+        self._count_full("sim.fabric.remote_cache_hits")
+        # adopt into the local layers without re-pushing to the fleet
+        super().put(key, value)
+        return value
+
+    def put(self, key: str, value: object) -> None:
+        super().put(key, value)
+        if self.remote is not None:
+            errors_before = self.remote.errors
+            self.remote.push(key, value)
+            if self.remote.errors > errors_before:
+                self._count_full("sim.fabric.remote_cache_errors")
+
+    def stats(self) -> dict[str, int | float]:
+        doc = super().stats()
+        doc["remote_hits"] = self.remote_hits
+        if self.remote is not None:
+            doc["remote_errors"] = self.remote.errors
+            doc["remote_healthy"] = self.remote.healthy
+        return doc

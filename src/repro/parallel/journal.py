@@ -19,8 +19,11 @@ Robustness properties:
   completed one.
 - **Self-healing loads.**  A truncated tail (torn write), a corrupt
   line, a checksum mismatch, or a stale schema is *skipped and
-  counted*, never fatal: the affected points simply recompute.  The
-  journal is an optimization, not a source of truth.
+  counted*, never fatal: the affected points simply recompute.  If two
+  concurrent runs ever interleave in one file, records written under
+  the other run's header are skipped too (counted as ``foreign``)
+  rather than served as this run's results.  The journal is an
+  optimization, not a source of truth.
 - **Content-addressed run ids.**  :func:`derive_run_id` hashes the
   sweep definition (experiment ids, mode, cache schema) the same way
   the schedule cache hashes artifacts, so ``--resume`` can re-derive
@@ -133,31 +136,45 @@ class JournalLoad:
     results: dict[str, object]
     records: int = 0
     corrupt: int = 0
+    #: intact records belonging to a *different* run id (two writers
+    #: interleaved in one file); skipped, never adopted.
+    foreign: int = 0
     run_id: str | None = None
     meta: dict | None = None
 
 
-def load_journal(path: str | os.PathLike) -> JournalLoad:
+def load_journal(path: str | os.PathLike, run_id: str | None = None) -> JournalLoad:
     """Read a journal file, skipping (and counting) damaged records.
 
     Never raises on damaged content: unparseable lines, checksum
     mismatches, and stale schemas are quarantined into the ``corrupt``
     count.  A missing file is an empty load.
+
+    When ``run_id`` is given, only records written under a header with
+    that id are adopted: if two concurrent runs ever interleave in one
+    file (a misconfigured shared journal path), the other run's
+    records are counted in ``foreign`` and skipped rather than served
+    as this run's results.  Without ``run_id`` every intact record is
+    adopted (the single-writer common case).
     """
     with trace_spans.span("journal.load", path=str(path)) as sp:
-        state = _load_journal(path)
+        state = _load_journal(path, run_id)
         if sp is not None:
-            sp.set(records=state.records, corrupt=state.corrupt)
+            sp.set(records=state.records, corrupt=state.corrupt, foreign=state.foreign)
         return state
 
 
-def _load_journal(path: str | os.PathLike) -> JournalLoad:
+def _load_journal(path: str | os.PathLike, run_id: str | None = None) -> JournalLoad:
     state = JournalLoad(results={})
     try:
         with open(path, "r", encoding="utf-8") as f:
             lines = f.readlines()
     except OSError:
         return state
+    # records before any header, or under a matching/anonymous header,
+    # are "active"; a header naming a different run deactivates until a
+    # matching header appears again.
+    active = True
     for line in lines:
         line = line.strip()
         if not line:
@@ -171,9 +188,15 @@ def _load_journal(path: str | os.PathLike) -> JournalLoad:
             state.corrupt += 1
             continue
         if payload.get("header"):
-            state.run_id = payload.get("run_id")
-            meta = payload.get("meta")
-            state.meta = meta if isinstance(meta, dict) else None
+            header_id = payload.get("run_id")
+            active = (
+                run_id is None or not isinstance(header_id, str) or header_id == run_id
+            )
+            if state.run_id is None or active:
+                state.run_id = header_id
+            if active:
+                meta = payload.get("meta")
+                state.meta = meta if isinstance(meta, dict) else None
             continue
         fingerprint = payload.get("fp")
         checksum = payload.get("sum")
@@ -183,6 +206,9 @@ def _load_journal(path: str | os.PathLike) -> JournalLoad:
         result = payload.get("result")
         if _record_checksum(fingerprint, result) != checksum:
             state.corrupt += 1
+            continue
+        if not active:
+            state.foreign += 1
             continue
         state.results[fingerprint] = result
         state.records += 1
@@ -212,19 +238,34 @@ class SweepJournal:
         self.meta = meta
         self.resumed_records = 0
         self.corrupt_records = 0
+        self.foreign_records = 0
         self.appended = 0
         self.skipped_appends = 0
         self._seen: dict[str, object] = {}
         self._file = None
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if resume:
-            load = load_journal(self.path)
+            load = load_journal(self.path, run_id=self.run_id)
             self._seen = load.results
             self.resumed_records = load.records
             self.corrupt_records = load.corrupt
+            self.foreign_records = load.foreign
             if self.run_id is None:
                 self.run_id = load.run_id
+        # a torn final line (killed mid-write) has no trailing newline;
+        # appending straight after it would splice the next record onto
+        # the stump and destroy both.  Seal the tear first.
+        torn_tail = False
+        if resume:
+            try:
+                with open(self.path, "rb") as raw:
+                    raw.seek(-1, os.SEEK_END)
+                    torn_tail = raw.read(1) != b"\n"
+            except (OSError, ValueError):
+                torn_tail = False
         self._file = open(self.path, "a" if resume else "w", encoding="utf-8")
+        if torn_tail:
+            self._file.write("\n")
         if not resume or (self.resumed_records == 0 and self.corrupt_records == 0):
             self._write_line(
                 {

@@ -1,0 +1,236 @@
+"""Fabric worker host: ``repro-hypercube worker --connect HOST:PORT``.
+
+One worker process serves one TCP link to a
+:class:`~repro.parallel.fabric.TcpCoordinator`: it executes the
+coordinator's chunks one at a time through the same
+:func:`~repro.parallel.fabric.run_chunk` the local process pool uses,
+so telemetry buffering, per-chunk metric deltas, and span snapshots
+ride home in the result frame exactly as they do through a pool
+future.  Scale out by starting more workers -- on this host or any
+host that can reach the coordinator.
+
+Liveness is a dedicated heartbeat thread, and its rule encodes the
+slow-vs-hung distinction at fleet scope: a beat is sent only while the
+worker is *idle* or while chunk execution has made *progress* (another
+point started) since the last beat.  A worker whose point function is
+wedged therefore goes silent, the coordinator's hard timeout fires,
+and the chunk is requeued elsewhere -- without any clock agreement
+between hosts, because the coordinator only measures receive-to-receive
+gaps on its own monotonic clock.
+
+The coordinator's liveness matters too: if a beat cannot be sent while
+a chunk is running, the coordinator is gone and nobody will accept the
+result, so the worker exits hard (:data:`ORPHANED_EXIT`) rather than
+burn a host on orphaned work.  An idle worker notices the same thing
+as EOF on its blocking read and exits cleanly.
+
+Workers start cold.  With ``--cache-url`` (or the coordinator's
+advertised URL) the local schedule cache is extended with the fleet
+tier (:mod:`repro.parallel.fabric_cache`), so every host shares one
+warm set of content-addressed schedule tables.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import threading
+import time
+import traceback
+
+from repro.parallel.cache import ScheduleCache, activate_cache
+from repro.parallel.fabric import recv_frame, run_chunk, send_frame
+from repro.parallel.fabric_cache import RemoteCacheClient, TieredCache
+
+__all__ = ["ORPHANED_EXIT", "run_worker"]
+
+#: Exit code for a worker that abandoned a chunk because its
+#: coordinator vanished mid-execution (distinct from 1, a clean
+#: connection loss while idle, so process supervisors can tell lost
+#: work from a finished fleet).
+ORPHANED_EXIT = 70
+
+
+class _ProgressBeats:
+    """Mapping facade over a progress counter.
+
+    :func:`~repro.parallel.fabric.run_chunk` "beats" by assigning into
+    its ``heartbeats`` mapping before every point; here each assignment
+    just advances a counter the heartbeat thread samples, turning
+    per-point progress into the beat/no-beat decision.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __setitem__(self, _key: object, _value: object) -> None:
+        self.count += 1
+
+
+def _parse_endpoint(endpoint: str) -> tuple[str, int]:
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {endpoint!r}")
+    return host, int(port)
+
+
+def _link_dead(sock: socket.socket) -> bool:
+    """Whether the coordinator closed the link, without consuming data.
+
+    Used while a chunk is running (the main thread is not reading): a
+    readable socket whose peek returns EOF is a dead link.  A pending
+    frame (a shutdown broadcast) peeks as data and is left for the main
+    loop.
+    """
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+        if not readable:
+            return False
+        return sock.recv(1, socket.MSG_PEEK) == b""
+    except (OSError, ValueError):
+        return True
+
+
+def _connect(host: str, port: int, timeout_s: float) -> socket.socket | None:
+    """Dial the coordinator, retrying with a short fixed delay until
+    ``timeout_s`` runs out (workers routinely start before it)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(0.2)
+
+
+def run_worker(
+    connect: str,
+    cache_dir: str | None = None,
+    cache_url: str | None = None,
+    label: str | None = None,
+    connect_timeout_s: float = 30.0,
+    beat_s: float = 0.25,
+) -> int:
+    """Serve one coordinator link until shutdown; returns the exit code.
+
+    ``0``: coordinator sent an orderly shutdown.  ``1``: could not
+    connect, or the connection closed while idle.  The orphaned-chunk
+    path does not return -- it is :func:`os._exit` with
+    :data:`ORPHANED_EXIT`.
+    """
+    host, port = _parse_endpoint(connect)
+    sock = _connect(host, port, connect_timeout_s)
+    if sock is None:
+        print(f"worker: no coordinator at {connect} after {connect_timeout_s:.0f}s", flush=True)
+        return 1
+    worker_id = label or f"{socket.gethostname()}-{os.getpid()}"
+    send_lock = threading.Lock()
+    send_frame(
+        sock,
+        {
+            "type": "hello",
+            "worker_id": worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+        },
+        send_lock,
+    )
+    welcome = recv_frame(sock)
+    if not isinstance(welcome, dict) or welcome.get("type") != "welcome":
+        print("worker: coordinator rejected handshake", flush=True)
+        return 1
+    if cache_url is None:
+        cache_url = welcome.get("cache_url")
+
+    if cache_url:
+        remote = RemoteCacheClient(cache_url)
+        activate_cache(TieredCache(cache_dir, remote=remote))
+        print(f"worker {worker_id}: fleet cache tier at {remote.describe()}", flush=True)
+    else:
+        activate_cache(ScheduleCache(cache_dir))
+
+    beats = _ProgressBeats()
+    busy = threading.Event()
+    stopping = threading.Event()
+
+    def beat_loop() -> None:
+        last_progress = beats.count
+        while not stopping.wait(beat_s):
+            progress = beats.count
+            executing = busy.is_set()
+            if executing and progress == last_progress:
+                # wedged point: go silent so the coordinator's hard
+                # timeout decides -- but if it already dropped us, the
+                # chunk is orphaned and this host should come back
+                if not stopping.is_set() and _link_dead(sock):
+                    print(f"worker {worker_id}: dropped by coordinator mid-chunk", flush=True)
+                    os._exit(ORPHANED_EXIT)
+                continue
+            last_progress = progress
+            try:
+                send_frame(sock, {"type": "heartbeat"}, send_lock)
+            except OSError:
+                if stopping.is_set():
+                    return
+                if executing:
+                    # nobody will accept this chunk's result; don't
+                    # finish it -- release the host immediately
+                    print(f"worker {worker_id}: coordinator lost mid-chunk", flush=True)
+                    os._exit(ORPHANED_EXIT)
+                return
+
+    beater = threading.Thread(target=beat_loop, name="worker-beat", daemon=True)
+    beater.start()
+    print(f"worker {worker_id}: serving {connect}", flush=True)
+
+    chunks_done = 0
+    try:
+        while True:
+            try:
+                msg = recv_frame(sock)
+            except (OSError, ValueError):
+                msg = None
+            if msg is None:
+                print(f"worker {worker_id}: connection closed ({chunks_done} chunks)", flush=True)
+                return 1
+            kind = msg.get("type") if isinstance(msg, dict) else None
+            if kind == "shutdown":
+                print(f"worker {worker_id}: shutdown ({chunks_done} chunks)", flush=True)
+                return 0
+            if kind != "chunk":
+                continue  # unknown frame: a newer coordinator's extension
+            chunk_id = msg.get("chunk_id")
+            busy.set()
+            try:
+                payload = run_chunk(
+                    msg["fn"], msg["chunk"], chunk_id, beats, msg.get("trace_id")
+                )
+            except BaseException:
+                busy.clear()
+                reply = {
+                    "type": "error",
+                    "chunk_id": chunk_id,
+                    "error": traceback.format_exc(limit=20),
+                }
+            else:
+                busy.clear()
+                chunks_done += 1
+                reply = {"type": "result", "chunk_id": chunk_id, "payload": payload}
+            try:
+                send_frame(sock, reply, send_lock)
+            except OSError:
+                print(f"worker {worker_id}: coordinator lost sending chunk {chunk_id}", flush=True)
+                return 1
+    finally:
+        stopping.set()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass

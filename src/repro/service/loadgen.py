@@ -23,6 +23,14 @@ Latencies are recorded into a bounded-memory
 :class:`~repro.obs.metrics.Histogram`, so arbitrarily long soaks cost
 O(1) memory; quantiles come from :meth:`Histogram.quantile` (bucket
 upper bounds -- conservative for SLO gates).
+
+The client is a polite citizen of an overloaded service: a 429 is not
+a failure but a scheduling hint -- the worker sleeps out the server's
+``Retry-After`` (jittered, capped) and re-offers the same request --
+and a connection reset or refused connect is retried up to
+``retries`` times under jittered exponential backoff before it counts
+as an error.  Both behaviours are what the resilience docs
+(docs/RESILIENCE.md) prescribe for fleet clients generally.
 """
 
 from __future__ import annotations
@@ -67,6 +75,13 @@ class LoadConfig:
     seed: int = 20260808
     client_id: str = "loadgen"
     deadline_ms: float | None = None
+    #: transport-error / 429 retries per request before giving up.
+    retries: int = 2
+    #: first backoff delay for transport retries (doubles per attempt,
+    #: jittered); also the fallback wait for a 429 with no Retry-After.
+    backoff_s: float = 0.05
+    #: ceiling on any single retry sleep (guards a hostile Retry-After).
+    max_backoff_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.endpoint not in ("schedule", "verify", "simulate"):
@@ -85,6 +100,14 @@ class LoadConfig:
             raise ValueError(f"skew must be >= 0, got {self.skew}")
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s <= 0:
+            raise ValueError(f"backoff_s must be positive, got {self.backoff_s}")
+        if self.max_backoff_s < self.backoff_s:
+            raise ValueError(
+                f"max_backoff_s {self.max_backoff_s} below backoff_s {self.backoff_s}"
+            )
 
 
 @dataclass(slots=True)
@@ -97,6 +120,10 @@ class LoadSummary:
     builds: int = 0
     statuses: dict[int, int] = field(default_factory=dict)
     errors: int = 0
+    #: transport failures retried (reset/refused that did not become errors).
+    retried: int = 0
+    #: 429 responses waited out per the server's Retry-After and re-offered.
+    throttled: int = 0
     wall_seconds: float = 0.0
     latency: Histogram = field(
         default_factory=lambda: Histogram("loadgen.latency_ms", SERVICE_LATENCY_BUCKETS_MS)
@@ -124,6 +151,8 @@ class LoadSummary:
             "requests": self.requests,
             "ok": self.ok,
             "errors": self.errors,
+            "retried": self.retried,
+            "throttled": self.throttled,
             "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
             "cache_hits": self.cache_hits,
             "builds": self.builds,
@@ -176,7 +205,7 @@ class _Connection:
 
     async def request(
         self, method: str, path: str, body: bytes, headers: dict[str, str]
-    ) -> tuple[int, bytes]:
+    ) -> tuple[int, dict[str, str], bytes]:
         """Send one request; reconnects once if the server closed on us."""
         for attempt in (0, 1):
             if self._writer is None:
@@ -196,29 +225,25 @@ class _Connection:
                     raise
         raise AssertionError("unreachable")
 
-    async def _read_response(self) -> tuple[int, bytes]:
+    async def _read_response(self) -> tuple[int, dict[str, str], bytes]:
         assert self._reader is not None
         status_line = await self._reader.readline()
         if not status_line:
             raise asyncio.IncompleteReadError(b"", None)
         parts = status_line.decode("latin-1").split(maxsplit=2)
         status = int(parts[1])
-        length = 0
-        close_after = False
+        resp_headers: dict[str, str] = {}
         while True:
             raw = await self._reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
             name, _, value = raw.decode("latin-1").partition(":")
-            name = name.strip().lower()
-            if name == "content-length":
-                length = int(value.strip())
-            elif name == "connection" and value.strip().lower() == "close":
-                close_after = True
+            resp_headers[name.strip().lower()] = value.strip()
+        length = int(resp_headers.get("content-length", "0"))
         body = await self._reader.readexactly(length) if length else b""
-        if close_after:
+        if resp_headers.get("connection", "").lower() == "close":
             await self.close()
-        return status, body
+        return status, resp_headers, body
 
 
 def _request_bodies(config: LoadConfig) -> list[bytes]:
@@ -265,42 +290,73 @@ async def run_load(
                 if think_mean > 0.0:
                     await asyncio.sleep(wrng.expovariate(1.0 / think_mean))
                 body = bodies[picker.pick()]
-                t0 = time.perf_counter()
-                try:
-                    status, resp_body = await conn.request("POST", path, body, headers)
-                except OSError:
-                    summary.errors += 1
-                    continue
-                elapsed_ms = (time.perf_counter() - t0) * 1e3
-                summary.requests += 1
-                summary.latency.observe(elapsed_ms)
-                summary.statuses[status] = summary.statuses.get(status, 0) + 1
-                source = None
-                if status == 200:
-                    summary.ok += 1
-                    source = json.loads(resp_body).get("source")
-                    if source == "cache":
-                        summary.cache_hits += 1
-                    elif source == "build":
-                        summary.builds += 1
-                if telemetry is not None:
-                    telemetry.write(
-                        RunRecord(
-                            run_id=run_id,
-                            kind="service-request",
-                            n=config.n,
-                            algorithm=config.algorithm,
-                            wall_seconds=elapsed_ms / 1e3,
-                            extra={
-                                "t_s": round(time.perf_counter() - started, 6),
-                                "worker": worker_id,
-                                "endpoint": config.endpoint,
-                                "status": status,
-                                "latency_ms": round(elapsed_ms, 4),
-                                "source": source,
-                            },
+                attempts = 0
+                while True:
+                    t0 = time.perf_counter()
+                    try:
+                        status, resp_headers, resp_body = await conn.request(
+                            "POST", path, body, headers
                         )
-                    )
+                    except OSError:
+                        # reset/refused mid-burst: back off (jittered,
+                        # doubling) and re-offer rather than fail hard --
+                        # a restarting or draining server is not an error
+                        # until the budget is spent.
+                        if attempts >= config.retries:
+                            summary.errors += 1
+                            break
+                        attempts += 1
+                        summary.retried += 1
+                        pause = min(
+                            config.backoff_s * (2 ** (attempts - 1)), config.max_backoff_s
+                        )
+                        await asyncio.sleep(wrng.uniform(0.0, pause))
+                        continue
+                    elapsed_ms = (time.perf_counter() - t0) * 1e3
+                    summary.requests += 1
+                    summary.latency.observe(elapsed_ms)
+                    summary.statuses[status] = summary.statuses.get(status, 0) + 1
+                    source = None
+                    if status == 200:
+                        summary.ok += 1
+                        source = json.loads(resp_body).get("source")
+                        if source == "cache":
+                            summary.cache_hits += 1
+                        elif source == "build":
+                            summary.builds += 1
+                    if telemetry is not None:
+                        telemetry.write(
+                            RunRecord(
+                                run_id=run_id,
+                                kind="service-request",
+                                n=config.n,
+                                algorithm=config.algorithm,
+                                wall_seconds=elapsed_ms / 1e3,
+                                extra={
+                                    "t_s": round(time.perf_counter() - started, 6),
+                                    "worker": worker_id,
+                                    "endpoint": config.endpoint,
+                                    "status": status,
+                                    "latency_ms": round(elapsed_ms, 4),
+                                    "source": source,
+                                    "attempt": attempts,
+                                },
+                            )
+                        )
+                    if status == 429 and attempts < config.retries:
+                        # the server said when to come back; believe it
+                        # (capped), add jitter so throttled workers do
+                        # not re-arrive in lockstep.
+                        attempts += 1
+                        summary.throttled += 1
+                        try:
+                            retry_after = float(resp_headers.get("retry-after", ""))
+                        except ValueError:
+                            retry_after = config.backoff_s
+                        pause = min(max(retry_after, 0.0), config.max_backoff_s)
+                        await asyncio.sleep(pause + wrng.uniform(0.0, config.backoff_s))
+                        continue
+                    break
         finally:
             await conn.close()
 
@@ -341,6 +397,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=20260808)
     parser.add_argument("--client-id", default="loadgen")
     parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument(
+        "--retries", type=int, default=2, help="transport/429 retries per request"
+    )
+    parser.add_argument(
+        "--backoff-s", type=float, default=0.05, help="initial retry backoff seconds"
+    )
     parser.add_argument("--telemetry", default=None, help="JSONL telemetry path (rotated+gzipped)")
     parser.add_argument(
         "--telemetry-max-bytes", type=int, default=1 << 20, help="rotation threshold"
@@ -366,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             client_id=args.client_id,
             deadline_ms=args.deadline_ms,
+            retries=args.retries,
+            backoff_s=args.backoff_s,
         )
     except ValueError as exc:
         parser.error(str(exc))  # exits 2
@@ -386,7 +450,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{summary.requests} requests in {summary.wall_seconds:.2f}s "
             f"({summary.rps:.0f} req/s), p50 {summary.p50_ms:.2f} ms, "
             f"p99 {summary.p99_ms:.2f} ms, hit ratio {summary.hit_ratio:.3f}, "
-            f"{summary.errors} transport error(s)"
+            f"{summary.errors} transport error(s), {summary.retried} retried, "
+            f"{summary.throttled} throttled"
         )
     failed = []
     if args.min_hit_ratio is not None and summary.hit_ratio < args.min_hit_ratio:

@@ -1,0 +1,154 @@
+"""The fleet cache routes and degraded-health surface of the service.
+
+Server side of :mod:`repro.parallel.fabric_cache`: ``GET/PUT
+/v1/cache/<key>`` must speak the same self-verifying envelope the disk
+cache uses (rejecting anything that fails key/checksum validation),
+and ``/health`` must distinguish a draining instance from an
+overloaded one so fleet workers and probes react correctly.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.parallel.cache import _value_checksum, cache_key
+from repro.parallel.fabric_cache import RemoteCacheClient, TieredCache
+from repro.service import ServiceConfig, ServiceThread
+
+
+@pytest.fixture()
+def service():
+    with ServiceThread(ServiceConfig(port=0)) as svc:
+        yield svc
+
+
+def _url(svc, path: str) -> str:
+    return f"http://{svc.host}:{svc.port}{path}"
+
+
+def _get(svc, path: str):
+    try:
+        with urllib.request.urlopen(_url(svc, path), timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _put(svc, path: str, doc: dict):
+    req = urllib.request.Request(
+        _url(svc, path), data=json.dumps(doc).encode(), method="PUT"
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _envelope(key: str, value: object) -> dict:
+    return {"key": key, "checksum": _value_checksum(value), "value": value}
+
+
+KEY = cache_key("fleet-test", x=1)
+VALUE = {"steps": [[0, 1], [1, 3]], "depth": 2}
+
+
+class TestCacheRoutes:
+    def test_miss_is_404(self, service):
+        status, body = _get(service, f"/v1/cache/{KEY}")
+        assert status == 404
+        assert "no cache entry" in body["error"]
+
+    def test_put_get_roundtrip_envelope(self, service):
+        status, body = _put(service, f"/v1/cache/{KEY}", _envelope(KEY, VALUE))
+        assert status == 201
+        assert body == {"key": KEY, "stored": True}
+        status, doc = _get(service, f"/v1/cache/{KEY}")
+        assert status == 200
+        assert doc["key"] == KEY
+        assert doc["value"] == VALUE
+        assert doc["checksum"] == _value_checksum(VALUE)
+
+    def test_malformed_key_is_400(self, service):
+        for bad in ("zz", "A" * 64, KEY[:-1], KEY + "0"):
+            status, body = _get(service, f"/v1/cache/{bad}")
+            assert status == 400, bad
+            assert "64 hex chars" in body["error"]
+
+    def test_forged_checksum_rejected(self, service):
+        doc = _envelope(KEY, VALUE)
+        doc["checksum"] = "0" * 16
+        status, body = _put(service, f"/v1/cache/{KEY}", doc)
+        assert status == 400
+        assert "validation" in body["error"]
+        assert _get(service, f"/v1/cache/{KEY}")[0] == 404  # nothing stored
+        rejected = service.app.metrics.counter("sim.service.cache_put_rejected").value
+        assert rejected == 1
+
+    def test_key_mismatch_rejected(self, service):
+        other = cache_key("fleet-test", x=2)
+        status, _ = _put(service, f"/v1/cache/{other}", _envelope(KEY, VALUE))
+        assert status == 400
+
+    def test_unsupported_method_405(self, service):
+        req = urllib.request.Request(_url(service, f"/v1/cache/{KEY}"), method="DELETE")
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(req, timeout=30)
+        assert exc_info.value.code == 405
+
+    def test_planner_entries_visible_to_fleet(self, service):
+        """Cross-layer coherence: an entry the planner builds for a
+        ``/v1/schedule`` request is immediately fetchable (and
+        checksum-intact) through the cache route under the same key."""
+        doc = {"algorithm": "wsort", "n": 5, "source": 0, "destinations": [1, 2, 3]}
+        req = urllib.request.Request(
+            _url(service, "/v1/schedule"), data=json.dumps(doc).encode(), method="POST"
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            plan = json.loads(resp.read())
+        status, entry = _get(service, f"/v1/cache/{plan['key']}")
+        assert status == 200
+        assert entry["value"] == plan["result"]
+
+    def test_remote_client_and_tiered_cache_integration(self, service):
+        publisher = TieredCache(remote=RemoteCacheClient(f"{service.host}:{service.port}"))
+        publisher.put(KEY, VALUE)  # local layers + best-effort push
+        subscriber = TieredCache(remote=RemoteCacheClient(f"{service.host}:{service.port}"))
+        assert subscriber.get(KEY) == VALUE  # served by the fleet
+        assert subscriber.remote_hits == 1
+        assert subscriber.get(KEY) == VALUE  # adopted locally
+        assert subscriber.remote_hits == 1
+
+
+class TestDegradedHealth:
+    def test_healthy_instance_not_degraded(self, service):
+        status, doc = _get(service, "/health")
+        assert status == 200
+        assert doc["degraded"] is False
+        assert "degraded_reason" not in doc
+
+    def test_drain_reports_degraded_with_reason(self, service):
+        service.app.server._draining = True
+        try:
+            status, doc = _get(service, "/health")
+        finally:
+            service.app.server._draining = False
+        assert status == 200
+        assert doc["status"] == "draining"
+        assert doc["degraded"] is True
+        assert doc["degraded_reason"] == "drain"
+
+    def test_overload_reports_degraded_with_reason(self, service):
+        admission = service.app.admission
+        admission.inflight = service.app.config.admission.max_inflight
+        try:
+            _, doc = _get(service, "/health")
+        finally:
+            admission.inflight = 0
+        assert doc["status"] == "ok"  # alive, just saturated -- not draining
+        assert doc["degraded"] is True
+        assert doc["degraded_reason"] == "overload"

@@ -8,7 +8,7 @@ import random
 import pytest
 
 from repro.obs.sink import RotatingJsonlSink, read_jsonl
-from repro.service import LoadConfig, ServiceConfig, ServiceThread
+from repro.service import AdmissionConfig, LoadConfig, ServiceConfig, ServiceThread
 from repro.service.loadgen import _ZipfPicker, main, run_load_sync
 
 
@@ -108,6 +108,62 @@ class TestRunLoad:
         assert rec.kind == "service-request"
         assert rec.extra["status"] == 200
         assert rec.extra["source"] in ("cache", "build")
+
+
+class TestRetries:
+    def test_429_honors_retry_after_and_reoffers(self):
+        """Throttled requests wait out the server's Retry-After and
+        succeed on a later attempt instead of surfacing as failures."""
+        config = ServiceConfig(
+            port=0,
+            admission=AdmissionConfig(rate_per_client=50.0, burst=2.0, retry_after_s=0.05),
+        )
+        with ServiceThread(config) as svc:
+            summary = run_load_sync(
+                LoadConfig(
+                    host=svc.host, port=svc.port,
+                    requests=40, concurrency=4, keys=4, n=5, m=4,
+                    retries=4, backoff_s=0.01,
+                )
+            )
+        assert summary.throttled > 0
+        assert summary.statuses.get(429, 0) > 0
+        assert summary.ok > 0
+        assert summary.errors == 0  # 429s are throttles, not failures
+
+    def test_connection_refused_retries_then_counts_error(self):
+        summary = run_load_sync(
+            LoadConfig(
+                host="127.0.0.1", port=1,
+                requests=3, concurrency=1, retries=2, backoff_s=0.005,
+            )
+        )
+        assert summary.errors == 3
+        assert summary.retried == 6  # two jittered-backoff retries each
+        assert summary.requests == 0  # nothing ever got a response
+
+    def test_retries_zero_fails_immediately(self):
+        summary = run_load_sync(
+            LoadConfig(host="127.0.0.1", port=1, requests=2, concurrency=1, retries=0)
+        )
+        assert summary.errors == 2
+        assert summary.retried == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(retries=-1)
+        with pytest.raises(ValueError):
+            LoadConfig(backoff_s=0.0)
+        with pytest.raises(ValueError):
+            LoadConfig(backoff_s=1.0, max_backoff_s=0.5)
+
+    def test_summary_reports_retry_counters(self, service):
+        summary = run_load_sync(
+            LoadConfig(host=service.host, port=service.port,
+                       requests=10, concurrency=2, keys=2, n=5, m=4)
+        )
+        doc = summary.as_dict()
+        assert doc["retried"] == 0 and doc["throttled"] == 0
 
 
 class TestMain:
